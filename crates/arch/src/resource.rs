@@ -1,0 +1,135 @@
+//! Routing-resource primitives: functional units, switches and links.
+
+use std::fmt;
+
+/// Identifier of a resource within an [`crate::Architecture`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub u32);
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Capabilities of a functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuCaps {
+    /// Can execute ALU (compute) operations.
+    pub compute: bool,
+    /// Can execute load/store operations (has a scratch-pad port).
+    pub memory: bool,
+}
+
+impl FuCaps {
+    /// An ALU: compute only.
+    pub const ALU: FuCaps = FuCaps {
+        compute: true,
+        memory: false,
+    };
+    /// An ALSU: compute plus load/store.
+    pub const ALSU: FuCaps = FuCaps {
+        compute: true,
+        memory: true,
+    };
+}
+
+/// The kind of a routing resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// A functional unit; executes at most one DFG node per cycle.
+    FuncUnit(FuCaps),
+    /// A switch (router, register hold, bypass wire); carries at most
+    /// `capacity` distinct values per cycle.
+    Switch {
+        /// Number of distinct values the switch can carry per cycle.
+        capacity: u32,
+    },
+}
+
+impl ResourceKind {
+    /// Whether this resource is a functional unit.
+    pub fn is_func_unit(self) -> bool {
+        matches!(self, ResourceKind::FuncUnit(_))
+    }
+
+    /// Per-cycle value capacity (1 for functional units).
+    pub fn capacity(self) -> u32 {
+        match self {
+            ResourceKind::FuncUnit(_) => 1,
+            ResourceKind::Switch { capacity } => capacity,
+        }
+    }
+}
+
+/// A routing resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Identifier within the architecture.
+    pub id: ResourceId,
+    /// Human-readable name, e.g. `"pcu0.alu1"` or `"pe3.router"`.
+    pub name: String,
+    /// Kind and capacity.
+    pub kind: ResourceKind,
+    /// Index of the tile (PE or PCU) this resource belongs to.
+    pub tile: usize,
+}
+
+impl Resource {
+    /// Capabilities if this is a functional unit.
+    pub fn fu_caps(&self) -> Option<FuCaps> {
+        match self.kind {
+            ResourceKind::FuncUnit(caps) => Some(caps),
+            ResourceKind::Switch { .. } => None,
+        }
+    }
+}
+
+/// A directed link between two resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Source resource.
+    pub from: ResourceId,
+    /// Destination resource.
+    pub to: ResourceId,
+    /// Cycles a value takes to traverse the link (0 = combinational,
+    /// 1 = registered).
+    pub latency: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_caps_constants() {
+        assert!(FuCaps::ALU.compute && !FuCaps::ALU.memory);
+        assert!(FuCaps::ALSU.compute && FuCaps::ALSU.memory);
+    }
+
+    #[test]
+    fn resource_kind_capacity() {
+        assert_eq!(ResourceKind::FuncUnit(FuCaps::ALU).capacity(), 1);
+        assert_eq!(ResourceKind::Switch { capacity: 5 }.capacity(), 5);
+        assert!(ResourceKind::FuncUnit(FuCaps::ALSU).is_func_unit());
+        assert!(!ResourceKind::Switch { capacity: 1 }.is_func_unit());
+    }
+
+    #[test]
+    fn resource_fu_caps_accessor() {
+        let fu = Resource {
+            id: ResourceId(0),
+            name: "alu".into(),
+            kind: ResourceKind::FuncUnit(FuCaps::ALU),
+            tile: 0,
+        };
+        assert_eq!(fu.fu_caps(), Some(FuCaps::ALU));
+        let sw = Resource {
+            id: ResourceId(1),
+            name: "router".into(),
+            kind: ResourceKind::Switch { capacity: 4 },
+            tile: 0,
+        };
+        assert_eq!(sw.fu_caps(), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 2: fabric power distribution of the spatio-temporal baseline and
+//! Plaid, plus the headline power reduction.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaid::experiments;
+use plaid_arch::plaid as plaid_fabric;
+use plaid_arch::spatio_temporal;
+use plaid_sim::cost::CostModel;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::power_breakdown());
+
+    let mut group = c.benchmark_group("fig02_power_breakdown");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    let st = spatio_temporal::build(4, 4);
+    let pl = plaid_fabric::build(2, 2);
+    let model = CostModel::default();
+    group.bench_function("power_model_st_and_plaid", |b| {
+        b.iter(|| {
+            let a = model.fabric_power(&st).total();
+            let b_ = model.fabric_power(&pl).total();
+            (a, b_)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 13: area breakdown of the Plaid CGRA fabric.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaid::experiments;
+use plaid_arch::plaid as plaid_fabric;
+use plaid_sim::cost::CostModel;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::area_breakdown());
+
+    let mut group = c.benchmark_group("fig13_area_breakdown");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    let model = CostModel::default();
+    let arch = plaid_fabric::build(2, 2);
+    group.bench_function("area_model_plaid_2x2", |b| {
+        b.iter(|| model.fabric_area(&arch).total())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

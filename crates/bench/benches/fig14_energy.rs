@@ -1,0 +1,31 @@
+//! Figure 14: per-kernel fabric energy, normalized to the spatio-temporal
+//! baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaid::experiments;
+use plaid_arch::plaid as plaid_fabric;
+use plaid_sim::cost::CostModel;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::architecture_comparison(plaid_bench::bench_scope());
+    println!("{}", result.render_energy());
+    println!(
+        "geomean energy: plaid/spatio-temporal = {:.2}, plaid/spatial = {:.2} (paper: 0.58 and 0.72)\n",
+        result.plaid_vs_st_energy(),
+        result.plaid_vs_spatial_energy()
+    );
+
+    let mut group = c.benchmark_group("fig14_energy");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    let model = CostModel::default();
+    let arch = plaid_fabric::build(2, 2);
+    group.bench_function("energy_model_plaid_2x2", |b| {
+        b.iter(|| model.energy_nj(&arch, 100_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

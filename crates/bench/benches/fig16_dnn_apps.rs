@@ -1,0 +1,28 @@
+//! Figure 16: application-level comparison (energy and performance per area)
+//! of the spatial baseline and Plaid on three DNN applications.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaid::experiments;
+use plaid_workloads::dnn_applications;
+
+fn bench(c: &mut Criterion) {
+    let (_rows, text) = experiments::dnn_comparison();
+    println!("{text}");
+
+    let mut group = c.benchmark_group("fig16_dnn_apps");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group.bench_function("enumerate_dnn_layers", |b| {
+        b.iter(|| {
+            dnn_applications()
+                .iter()
+                .map(|a| a.layer_count())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

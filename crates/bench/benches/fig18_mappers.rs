@@ -1,0 +1,33 @@
+//! Figure 18: mapper ablation on the Plaid architecture — PathFinder and
+//! simulated annealing versus the motif-aware Plaid mapper.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaid::experiments;
+use plaid::report::geomean;
+use plaid_bench::bench_scope;
+use plaid_mapper::{Mapper, PlaidMapper, SaMapper};
+
+fn bench(c: &mut Criterion) {
+    let (rows, text) = experiments::mapper_comparison(bench_scope());
+    println!("{text}");
+    let pf = geomean(rows.iter().map(|r| r.pathfinder_cycles as f64 / r.plaid_cycles as f64));
+    let sa = geomean(rows.iter().map(|r| r.sa_cycles as f64 / r.plaid_cycles as f64));
+    println!("geomean slowdown vs Plaid mapper: PathFinder {pf:.2}x, SA {sa:.2}x (paper: 1.25x and 1.28x)\n");
+
+    let mut group = c.benchmark_group("fig18_mappers");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    let dfg = plaid_bench::measurement_workload().lower().unwrap();
+    let arch = plaid_arch::plaid::build(2, 2);
+    group.bench_function("plaid_mapper_dwconv", |b| {
+        b.iter(|| PlaidMapper::default().map(&dfg, &arch).unwrap())
+    });
+    group.bench_function("sa_mapper_dwconv", |b| {
+        b.iter(|| SaMapper::default().map(&dfg, &arch).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

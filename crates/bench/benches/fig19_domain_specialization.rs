@@ -1,0 +1,28 @@
+//! Figure 19: domain specialization — ST, ST-ML, Plaid and Plaid-ML on the
+//! machine-learning kernels.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaid::experiments;
+use plaid_arch::specialize;
+use plaid_sim::cost::CostModel;
+
+fn bench(c: &mut Criterion) {
+    let (_rows, text) = experiments::domain_specialization();
+    println!("{text}");
+
+    let mut group = c.benchmark_group("fig19_domain_specialization");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    let model = CostModel::default();
+    group.bench_function("build_and_cost_plaid_ml", |b| {
+        b.iter(|| {
+            let arch = specialize::plaid_ml_2x2();
+            model.fabric_power(&arch).total()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

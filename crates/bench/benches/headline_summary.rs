@@ -1,0 +1,24 @@
+//! Section 7 headline numbers: power, area, performance and energy of Plaid
+//! versus both baselines, measured against the paper-reported values.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaid::experiments;
+use plaid_bench::{bench_scope, measurement_workload};
+use plaid_motif::{identify_motifs, IdentifyOptions};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::headline_summary(bench_scope()));
+
+    let mut group = c.benchmark_group("headline_summary");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    let dfg = measurement_workload().lower().unwrap();
+    group.bench_function("motif_identification", |b| {
+        b.iter(|| identify_motifs(&dfg, &IdentifyOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

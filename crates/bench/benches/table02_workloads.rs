@@ -1,0 +1,23 @@
+//! Table 2: workload characteristics (nodes, compute nodes, motif-covered
+//! nodes) for the evaluated DFGs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaid::experiments::{self, ExperimentScope};
+use plaid_motif::{identify_motifs, IdentifyOptions};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::table2_characteristics(ExperimentScope::FULL));
+
+    let mut group = c.benchmark_group("table02_workloads");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    let dfg = plaid_bench::measurement_workload().lower().unwrap();
+    group.bench_function("motif_identification_dwconv", |b| {
+        b.iter(|| identify_motifs(&dfg, &IdentifyOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end Plaid compilation and evaluation pipeline.
+//!
+//! This crate ties the substrates together into the public API a user of the
+//! reproduction works with:
+//!
+//! * [`pipeline`] — compile a kernel (or a Table 2 workload) onto any of the
+//!   modelled architectures with any of the mappers, obtaining a validated
+//!   mapping, a configuration image and evaluation metrics.
+//! * [`experiments`] — one runner per table/figure of the paper's evaluation
+//!   (performance, energy, performance/area, DNN applications, scalability,
+//!   mapper ablation, domain specialization, power/area breakdowns).
+//! * [`report`] — plain-text table rendering used by the benches and
+//!   examples to print the same rows the paper reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use plaid::pipeline::{compile_workload, ArchChoice, MapperChoice};
+//! use plaid_workloads::table2_workloads;
+//!
+//! let workload = &table2_workloads()[0]; // atax_u2
+//! let result = compile_workload(workload, ArchChoice::Plaid2x2, MapperChoice::Plaid).unwrap();
+//! assert!(result.metrics.cycles > 0);
+//! assert!(result.mapping.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{compile_workload, ArchChoice, CompiledWorkload, MapperChoice, PipelineError};

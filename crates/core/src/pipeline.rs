@@ -1,0 +1,298 @@
+//! The end-to-end compilation pipeline: kernel → DFG → motifs → mapping →
+//! configuration → metrics.
+
+use std::fmt;
+
+use plaid_arch::{plaid, spatial, specialize, spatio_temporal, Architecture};
+use plaid_dfg::Dfg;
+use plaid_mapper::{
+    Mapper, MapError, Mapping, PathFinderMapper, PlaidMapper, SaMapper, SpatialMapper,
+    SpatialSchedule,
+};
+use plaid_motif::{coverage, identify_motifs, CoverageStats, IdentifyOptions};
+use plaid_sim::config::{generate_config, ConfigImage};
+use plaid_sim::cost::CostModel;
+use plaid_sim::metrics::EvalMetrics;
+use plaid_workloads::Workload;
+
+/// Architectures evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchChoice {
+    /// 4×4 high-performance spatio-temporal CGRA.
+    SpatioTemporal4x4,
+    /// 6×6 spatio-temporal CGRA (used in the scalability study).
+    SpatioTemporal6x6,
+    /// 4×4 energy-minimal spatial CGRA.
+    Spatial4x4,
+    /// 2×2 Plaid PCU array (16 functional units).
+    Plaid2x2,
+    /// 3×3 Plaid PCU array (36 functional units).
+    Plaid3x3,
+    /// Machine-learning-specialized spatio-temporal CGRA.
+    SpatioTemporalMl,
+    /// Machine-learning-specialized Plaid.
+    PlaidMl,
+}
+
+impl ArchChoice {
+    /// Builds the architecture instance.
+    pub fn build(self) -> Architecture {
+        match self {
+            ArchChoice::SpatioTemporal4x4 => spatio_temporal::build(4, 4),
+            ArchChoice::SpatioTemporal6x6 => spatio_temporal::build(6, 6),
+            ArchChoice::Spatial4x4 => spatial::build(4, 4),
+            ArchChoice::Plaid2x2 => plaid::build(2, 2),
+            ArchChoice::Plaid3x3 => plaid::build(3, 3),
+            ArchChoice::SpatioTemporalMl => specialize::spatio_temporal_ml(4, 4),
+            ArchChoice::PlaidMl => specialize::plaid_ml_2x2(),
+        }
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArchChoice::SpatioTemporal4x4 => "Spatio-temporal",
+            ArchChoice::SpatioTemporal6x6 => "Spatio-temporal 6x6",
+            ArchChoice::Spatial4x4 => "Spatial",
+            ArchChoice::Plaid2x2 => "Plaid 2x2",
+            ArchChoice::Plaid3x3 => "Plaid 3x3",
+            ArchChoice::SpatioTemporalMl => "ST-ML",
+            ArchChoice::PlaidMl => "Plaid-ML",
+        }
+    }
+}
+
+/// Mappers evaluated in the paper (Figure 18) plus the spatial partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapperChoice {
+    /// Simulated-annealing baseline.
+    Sa,
+    /// PathFinder negotiation baseline.
+    PathFinder,
+    /// The hierarchical motif-aware Plaid mapper (Algorithm 2).
+    Plaid,
+    /// The spatial partitioning mapper (only valid on spatial architectures).
+    Spatial,
+}
+
+impl MapperChoice {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MapperChoice::Sa => "SA",
+            MapperChoice::PathFinder => "PathFinder",
+            MapperChoice::Plaid => "Plaid mapper",
+            MapperChoice::Spatial => "Spatial partitioner",
+        }
+    }
+}
+
+/// Errors produced by the pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Lowering the kernel failed.
+    Lowering(plaid_dfg::DfgError),
+    /// Mapping failed.
+    Mapping(MapError),
+    /// Configuration generation failed.
+    Config(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Lowering(e) => write!(f, "lowering failed: {e}"),
+            PipelineError::Mapping(e) => write!(f, "mapping failed: {e}"),
+            PipelineError::Config(e) => write!(f, "configuration generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<plaid_dfg::DfgError> for PipelineError {
+    fn from(e: plaid_dfg::DfgError) -> Self {
+        PipelineError::Lowering(e)
+    }
+}
+
+impl From<MapError> for PipelineError {
+    fn from(e: MapError) -> Self {
+        PipelineError::Mapping(e)
+    }
+}
+
+/// The result of compiling one workload for one architecture.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    /// Workload name.
+    pub name: String,
+    /// The lowered DFG.
+    pub dfg: Dfg,
+    /// Motif coverage statistics (Table 2 columns).
+    pub coverage: CoverageStats,
+    /// The modulo-scheduled mapping (absent for spatial execution).
+    pub mapping: Option<Mapping>,
+    /// The spatial schedule (present only for spatial execution).
+    pub spatial: Option<SpatialSchedule>,
+    /// Configuration image (absent for spatial execution).
+    pub config: Option<ConfigImage>,
+    /// Evaluation metrics.
+    pub metrics: EvalMetrics,
+}
+
+impl CompiledWorkload {
+    /// Achieved initiation interval (averaged per partition for spatial).
+    pub fn ii(&self) -> u32 {
+        self.metrics.ii
+    }
+}
+
+/// Compiles `workload` for `arch_choice` with `mapper_choice` and evaluates it
+/// with the default cost model.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if lowering, mapping or configuration
+/// generation fails.
+pub fn compile_workload(
+    workload: &Workload,
+    arch_choice: ArchChoice,
+    mapper_choice: MapperChoice,
+) -> Result<CompiledWorkload, PipelineError> {
+    let arch = arch_choice.build();
+    let model = CostModel::default();
+    let dfg = workload.lower()?;
+    let hdfg = identify_motifs(&dfg, &IdentifyOptions::default());
+    let stats = coverage(&dfg, &hdfg);
+    let iterations = dfg.total_iterations();
+
+    if mapper_choice == MapperChoice::Spatial {
+        let schedule = SpatialMapper::default()
+            .map_spatial(&dfg, &arch)
+            .map_err(PipelineError::Mapping)?;
+        let cycles = schedule.total_cycles(iterations);
+        let ii = schedule.partitions.iter().map(|p| p.ii).max().unwrap_or(1);
+        let metrics = EvalMetrics::from_cycles(
+            workload.name.clone(),
+            mapper_choice.label(),
+            &arch,
+            &model,
+            ii,
+            cycles,
+        );
+        return Ok(CompiledWorkload {
+            name: workload.name.clone(),
+            dfg,
+            coverage: stats,
+            mapping: None,
+            spatial: Some(schedule),
+            config: None,
+            metrics,
+        });
+    }
+
+    let mapper: Box<dyn Mapper> = match mapper_choice {
+        MapperChoice::Sa => Box::new(SaMapper::default()),
+        MapperChoice::PathFinder => Box::new(PathFinderMapper::default()),
+        MapperChoice::Plaid => Box::new(PlaidMapper::default()),
+        MapperChoice::Spatial => unreachable!("handled above"),
+    };
+    let mapping = mapper.map(&dfg, &arch)?;
+    let config = generate_config(&dfg, &arch, &mapping).map_err(PipelineError::Config)?;
+    let cycles = mapping.total_cycles(iterations);
+    let metrics = EvalMetrics::from_cycles(
+        workload.name.clone(),
+        mapper_choice.label(),
+        &arch,
+        &model,
+        mapping.ii,
+        cycles,
+    );
+    Ok(CompiledWorkload {
+        name: workload.name.clone(),
+        dfg,
+        coverage: stats,
+        mapping: Some(mapping),
+        spatial: None,
+        config: Some(config),
+        metrics,
+    })
+}
+
+/// Default mapper used for an architecture in the paper's main comparison:
+/// the Plaid mapper on Plaid fabrics, the better of the two generic mappers
+/// on the spatio-temporal baseline, and the partitioner on spatial fabrics.
+pub fn default_mapper_for(arch_choice: ArchChoice) -> MapperChoice {
+    match arch_choice {
+        ArchChoice::Plaid2x2 | ArchChoice::Plaid3x3 | ArchChoice::PlaidMl => MapperChoice::Plaid,
+        ArchChoice::Spatial4x4 => MapperChoice::Spatial,
+        _ => MapperChoice::Sa,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaid_workloads::table2_workloads;
+
+    fn workload(name: &str) -> Workload {
+        table2_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap_or_else(|| panic!("workload {name} not in registry"))
+    }
+
+    #[test]
+    fn compiles_atax_on_all_three_main_architectures() {
+        let w = workload("atax_u2");
+        for (arch, mapper) in [
+            (ArchChoice::SpatioTemporal4x4, MapperChoice::Sa),
+            (ArchChoice::Spatial4x4, MapperChoice::Spatial),
+            (ArchChoice::Plaid2x2, MapperChoice::Plaid),
+        ] {
+            let result = compile_workload(&w, arch, mapper).unwrap();
+            assert!(result.metrics.cycles > 0, "{:?}", arch);
+            assert!(result.metrics.power_uw > 0.0);
+            if mapper == MapperChoice::Spatial {
+                assert!(result.spatial.is_some());
+            } else {
+                assert!(result.mapping.is_some());
+                assert!(result.config.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn plaid_matches_spatio_temporal_performance_on_a_simple_kernel() {
+        let w = workload("dwconv");
+        let st = compile_workload(&w, ArchChoice::SpatioTemporal4x4, MapperChoice::Sa).unwrap();
+        let pl = compile_workload(&w, ArchChoice::Plaid2x2, MapperChoice::Plaid).unwrap();
+        let ratio = pl.metrics.cycles as f64 / st.metrics.cycles as f64;
+        assert!(ratio <= 1.5, "plaid/st cycle ratio {ratio}");
+        // And Plaid consumes less power for the same work.
+        assert!(pl.metrics.power_uw < st.metrics.power_uw);
+    }
+
+    #[test]
+    fn default_mappers_match_architectures() {
+        assert_eq!(default_mapper_for(ArchChoice::Plaid2x2), MapperChoice::Plaid);
+        assert_eq!(default_mapper_for(ArchChoice::Spatial4x4), MapperChoice::Spatial);
+        assert_eq!(default_mapper_for(ArchChoice::SpatioTemporal4x4), MapperChoice::Sa);
+    }
+
+    #[test]
+    fn coverage_statistics_accompany_every_compilation() {
+        let w = workload("gemm_u2");
+        let result = compile_workload(&w, ArchChoice::Plaid2x2, MapperChoice::Plaid).unwrap();
+        assert_eq!(result.coverage.total_nodes, result.dfg.node_count());
+        assert!(result.coverage.covered_nodes <= result.coverage.compute_nodes);
+        assert!(result.ii() >= 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ArchChoice::Plaid2x2.label(), "Plaid 2x2");
+        assert_eq!(MapperChoice::PathFinder.label(), "PathFinder");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types shared across the DFG crate.
+
+use std::fmt;
+
+/// Errors produced while building, validating or interpreting dataflow graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// A node id referenced an entry that does not exist in the graph.
+    UnknownNode(u32),
+    /// An edge id referenced an entry that does not exist in the graph.
+    UnknownEdge(u32),
+    /// An operand slot of a node was driven by more than one data edge.
+    OperandConflict {
+        /// Node whose operand is over-driven.
+        node: u32,
+        /// Human-readable operand name (`"lhs"` / `"rhs"`).
+        operand: &'static str,
+    },
+    /// A node is missing a required input.
+    MissingOperand {
+        /// Node whose operand is missing.
+        node: u32,
+        /// Human-readable operand name.
+        operand: &'static str,
+    },
+    /// The graph contains a cycle made purely of same-iteration data edges.
+    DataCycle,
+    /// An edge refers to an operand the destination operation cannot accept.
+    InvalidOperand {
+        /// Destination node.
+        node: u32,
+        /// Explanation of the arity violation.
+        reason: String,
+    },
+    /// A kernel failed semantic checks before lowering.
+    InvalidKernel(String),
+    /// Interpretation failed (e.g. out-of-bounds array access).
+    Interpretation(String),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            DfgError::UnknownEdge(id) => write!(f, "unknown edge id {id}"),
+            DfgError::OperandConflict { node, operand } => {
+                write!(f, "operand {operand} of node {node} is driven more than once")
+            }
+            DfgError::MissingOperand { node, operand } => {
+                write!(f, "operand {operand} of node {node} is not driven")
+            }
+            DfgError::DataCycle => write!(f, "data edges form a same-iteration cycle"),
+            DfgError::InvalidOperand { node, reason } => {
+                write!(f, "invalid operand on node {node}: {reason}")
+            }
+            DfgError::InvalidKernel(msg) => write!(f, "invalid kernel: {msg}"),
+            DfgError::Interpretation(msg) => write!(f, "interpretation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}

@@ -1,0 +1,711 @@
+//! Loop-nest kernel IR.
+//!
+//! The paper feeds annotated C loops (Figure 4) through the Morpher toolchain
+//! to obtain DFGs. This module provides the equivalent front end for the
+//! reproduction: a compact loop-nest IR with affine array accesses, scalar
+//! temporaries and reduction statements. [`crate::lower`] turns a [`Kernel`]
+//! into a [`crate::Dfg`]; [`crate::interp`] executes both representations so
+//! the lowering (and later the mapping) can be functionally verified.
+
+use std::collections::HashSet;
+
+use crate::error::DfgError;
+use crate::op::Op;
+
+/// An affine expression `sum(coeff_k * loop_var_k) + constant` over the loop
+/// iteration variables of a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineExpr {
+    /// `(loop_var_index, coefficient)` pairs; indices refer to [`Kernel::loops`].
+    pub coeffs: Vec<(usize, i64)>,
+    /// Constant term.
+    pub constant: i64,
+}
+
+impl AffineExpr {
+    /// A constant affine expression.
+    pub fn constant(value: i64) -> Self {
+        AffineExpr {
+            coeffs: Vec::new(),
+            constant: value,
+        }
+    }
+
+    /// The affine expression `1 * loop_var`.
+    pub fn var(loop_var: usize) -> Self {
+        AffineExpr {
+            coeffs: vec![(loop_var, 1)],
+            constant: 0,
+        }
+    }
+
+    /// The affine expression `coeff * loop_var`.
+    pub fn scaled_var(loop_var: usize, coeff: i64) -> Self {
+        AffineExpr {
+            coeffs: vec![(loop_var, coeff)],
+            constant: 0,
+        }
+    }
+
+    /// Adds another affine expression to this one.
+    pub fn add(mut self, other: &AffineExpr) -> Self {
+        for &(v, c) in &other.coeffs {
+            self.add_term(v, c);
+        }
+        self.constant += other.constant;
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn offset(mut self, delta: i64) -> Self {
+        self.constant += delta;
+        self
+    }
+
+    /// Adds `coeff * loop_var` to the expression.
+    pub fn add_term(&mut self, loop_var: usize, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        if let Some(entry) = self.coeffs.iter_mut().find(|(v, _)| *v == loop_var) {
+            entry.1 += coeff;
+            if entry.1 == 0 {
+                self.coeffs.retain(|(v, _)| *v != loop_var);
+            }
+        } else {
+            self.coeffs.push((loop_var, coeff));
+        }
+    }
+
+    /// Evaluates the expression for a concrete iteration point.
+    ///
+    /// Loop variables beyond the length of `indices` evaluate to 0.
+    pub fn eval(&self, indices: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for &(v, c) in &self.coeffs {
+            acc += c * indices.get(v).copied().unwrap_or(0);
+        }
+        acc
+    }
+
+    /// Substitutes loop variable `var` with `scale * var + shift`
+    /// (used by loop unrolling).
+    pub fn substitute(&self, var: usize, scale: i64, shift: i64) -> Self {
+        let mut out = AffineExpr {
+            coeffs: Vec::new(),
+            constant: self.constant,
+        };
+        for &(v, c) in &self.coeffs {
+            if v == var {
+                out.add_term(v, c * scale);
+                out.constant += c * shift;
+            } else {
+                out.add_term(v, c);
+            }
+        }
+        out
+    }
+
+    /// Highest loop-variable index referenced, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        self.coeffs.iter().map(|&(v, _)| v).max()
+    }
+}
+
+/// One loop of the kernel's loop nest (outermost first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopVar {
+    /// Loop variable name (e.g. `"i"`).
+    pub name: String,
+    /// Trip count of the loop.
+    pub trip_count: u64,
+}
+
+/// Declaration of an array living in the scratch-pad memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Number of 16-bit elements.
+    pub len: usize,
+}
+
+/// A scalar expression in the kernel body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Read `array[index]` from the scratch-pad memory.
+    Load {
+        /// Array name.
+        array: String,
+        /// Affine index expression.
+        index: AffineExpr,
+    },
+    /// Reference to a scalar temporary defined earlier in the body by
+    /// [`Stmt::Let`].
+    Scalar(String),
+    /// The current value of a loop variable, used as data
+    /// (e.g. `a[i] * j` in Figure 4 of the paper).
+    Index(usize),
+    /// An integer literal.
+    Const(i64),
+    /// A unary ALU operation.
+    Unary(Op, Box<Expr>),
+    /// A binary ALU operation.
+    Binary(Op, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a load.
+    pub fn load(array: impl Into<String>, index: AffineExpr) -> Self {
+        Expr::Load {
+            array: array.into(),
+            index,
+        }
+    }
+
+    /// Convenience constructor for a binary expression.
+    pub fn binary(op: Op, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a unary expression.
+    pub fn unary(op: Op, inner: Expr) -> Self {
+        Expr::Unary(op, Box::new(inner))
+    }
+
+    /// Number of ALU operations in this expression tree.
+    pub fn compute_op_count(&self) -> usize {
+        match self {
+            Expr::Unary(_, a) => 1 + a.compute_op_count(),
+            Expr::Binary(_, a, b) => 1 + a.compute_op_count() + b.compute_op_count(),
+            _ => 0,
+        }
+    }
+
+    fn substitute_var(&self, var: usize, scale: i64, shift: i64, suffix: &str) -> Expr {
+        match self {
+            Expr::Load { array, index } => Expr::Load {
+                array: array.clone(),
+                index: index.substitute(var, scale, shift),
+            },
+            Expr::Scalar(name) => Expr::Scalar(format!("{name}{suffix}")),
+            Expr::Index(v) => {
+                if *v == var {
+                    // j -> factor*j + k, expressed as an affine combination of
+                    // the (rescaled) loop variable plus the replica offset.
+                    Expr::Binary(
+                        Op::Add,
+                        Box::new(Expr::Binary(
+                            Op::Mul,
+                            Box::new(Expr::Index(*v)),
+                            Box::new(Expr::Const(scale)),
+                        )),
+                        Box::new(Expr::Const(shift)),
+                    )
+                } else {
+                    Expr::Index(*v)
+                }
+            }
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(a.substitute_var(var, scale, shift, suffix))),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.substitute_var(var, scale, shift, suffix)),
+                Box::new(b.substitute_var(var, scale, shift, suffix)),
+            ),
+        }
+    }
+}
+
+/// A statement in the kernel body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Define a scalar temporary usable by later statements in the same
+    /// iteration.
+    Let {
+        /// Temporary name.
+        name: String,
+        /// Defining expression.
+        value: Expr,
+    },
+    /// `array[index] = value`.
+    Store {
+        /// Destination array.
+        array: String,
+        /// Affine index expression.
+        index: AffineExpr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `array[index] = array[index] <op> value` — a reduction carried through
+    /// the scratch-pad memory (creates an inter-iteration recurrence).
+    Accumulate {
+        /// Destination array.
+        array: String,
+        /// Affine index expression.
+        index: AffineExpr,
+        /// Reduction operation (usually [`Op::Add`]).
+        op: Op,
+        /// Value combined into the accumulator.
+        value: Expr,
+    },
+}
+
+impl Stmt {
+    fn substitute_var(&self, var: usize, scale: i64, shift: i64, suffix: &str) -> Stmt {
+        match self {
+            Stmt::Let { name, value } => Stmt::Let {
+                name: format!("{name}{suffix}"),
+                value: value.substitute_var(var, scale, shift, suffix),
+            },
+            Stmt::Store { array, index, value } => Stmt::Store {
+                array: array.clone(),
+                index: index.substitute(var, scale, shift),
+                value: value.substitute_var(var, scale, shift, suffix),
+            },
+            Stmt::Accumulate { array, index, op, value } => Stmt::Accumulate {
+                array: array.clone(),
+                index: index.substitute(var, scale, shift),
+                op: *op,
+                value: value.substitute_var(var, scale, shift, suffix),
+            },
+        }
+    }
+}
+
+/// A kernel: a perfect loop nest with a straight-line body of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (e.g. `"gemm"`).
+    pub name: String,
+    /// Loop nest, outermost first.
+    pub loops: Vec<LoopVar>,
+    /// Arrays referenced by the body.
+    pub arrays: Vec<ArrayDecl>,
+    /// Straight-line body executed once per innermost iteration.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Innermost loop index (the dimension that unrolling targets).
+    pub fn innermost(&self) -> usize {
+        self.loops.len().saturating_sub(1)
+    }
+
+    /// Total number of innermost-body executions.
+    pub fn total_iterations(&self) -> u64 {
+        self.loops.iter().map(|l| l.trip_count.max(1)).product::<u64>().max(1)
+    }
+
+    /// Looks up an array declaration by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Checks kernel well-formedness: referenced arrays are declared, scalar
+    /// temporaries are defined before use, loop-variable references are in
+    /// range, and trip counts are non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::InvalidKernel`] describing the first violation.
+    pub fn validate(&self) -> Result<(), DfgError> {
+        if self.loops.is_empty() {
+            return Err(DfgError::InvalidKernel("kernel has no loops".into()));
+        }
+        for l in &self.loops {
+            if l.trip_count == 0 {
+                return Err(DfgError::InvalidKernel(format!(
+                    "loop {} has zero trip count",
+                    l.name
+                )));
+            }
+        }
+        let mut defined: HashSet<String> = HashSet::new();
+        for stmt in &self.body {
+            let (value, target_array, index) = match stmt {
+                Stmt::Let { name, value } => {
+                    let result = self.check_expr(value, &defined);
+                    defined.insert(name.clone());
+                    (result, None, None)
+                }
+                Stmt::Store { array, index, value } => {
+                    (self.check_expr(value, &defined), Some(array), Some(index))
+                }
+                Stmt::Accumulate { array, index, value, op } => {
+                    if op.arity() != 2 {
+                        return Err(DfgError::InvalidKernel(format!(
+                            "accumulate op {op} must be binary"
+                        )));
+                    }
+                    (self.check_expr(value, &defined), Some(array), Some(index))
+                }
+            };
+            value?;
+            if let Some(array) = target_array {
+                if self.array(array).is_none() {
+                    return Err(DfgError::InvalidKernel(format!("undeclared array {array}")));
+                }
+            }
+            if let Some(index) = index {
+                if let Some(v) = index.max_var() {
+                    if v >= self.loops.len() {
+                        return Err(DfgError::InvalidKernel(format!(
+                            "index references loop variable {v} out of range"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_expr(&self, expr: &Expr, defined: &HashSet<String>) -> Result<(), DfgError> {
+        match expr {
+            Expr::Load { array, index } => {
+                if self.array(array).is_none() {
+                    return Err(DfgError::InvalidKernel(format!("undeclared array {array}")));
+                }
+                if let Some(v) = index.max_var() {
+                    if v >= self.loops.len() {
+                        return Err(DfgError::InvalidKernel(format!(
+                            "index references loop variable {v} out of range"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Expr::Scalar(name) => {
+                if defined.contains(name) {
+                    Ok(())
+                } else {
+                    Err(DfgError::InvalidKernel(format!(
+                        "scalar {name} used before definition"
+                    )))
+                }
+            }
+            Expr::Index(v) => {
+                if *v >= self.loops.len() {
+                    Err(DfgError::InvalidKernel(format!(
+                        "loop variable index {v} out of range"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            Expr::Const(_) => Ok(()),
+            Expr::Unary(op, a) => {
+                if op.arity() != 1 {
+                    return Err(DfgError::InvalidKernel(format!("{op} is not unary")));
+                }
+                self.check_expr(a, defined)
+            }
+            Expr::Binary(op, a, b) => {
+                if op.arity() != 2 {
+                    return Err(DfgError::InvalidKernel(format!("{op} is not binary")));
+                }
+                self.check_expr(a, defined)?;
+                self.check_expr(b, defined)
+            }
+        }
+    }
+
+    /// Unrolls the innermost loop by `factor`, replicating the body and
+    /// rewriting index expressions, exactly as the paper's `_u2`/`_u4`
+    /// workload variants do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::InvalidKernel`] if `factor` is zero or does not
+    /// divide the innermost trip count.
+    pub fn unroll_innermost(&self, factor: u64) -> Result<Kernel, DfgError> {
+        if factor == 0 {
+            return Err(DfgError::InvalidKernel("unroll factor must be non-zero".into()));
+        }
+        if factor == 1 {
+            return Ok(self.clone());
+        }
+        let inner = self.innermost();
+        let trip = self.loops[inner].trip_count;
+        if trip % factor != 0 {
+            return Err(DfgError::InvalidKernel(format!(
+                "unroll factor {factor} does not divide trip count {trip}"
+            )));
+        }
+        let mut loops = self.loops.clone();
+        loops[inner].trip_count = trip / factor;
+        let mut body = Vec::with_capacity(self.body.len() * factor as usize);
+        for k in 0..factor {
+            let suffix = format!("_u{k}");
+            for stmt in &self.body {
+                body.push(stmt.substitute_var(inner, factor as i64, k as i64, &suffix));
+            }
+        }
+        Ok(Kernel {
+            name: format!("{}_u{}", self.name, factor),
+            loops,
+            arrays: self.arrays.clone(),
+            body,
+        })
+    }
+}
+
+/// Builder for [`Kernel`] values.
+///
+/// ```
+/// use plaid_dfg::kernel::{AffineExpr, Expr, KernelBuilder};
+/// use plaid_dfg::op::Op;
+///
+/// let kernel = KernelBuilder::new("saxpy")
+///     .loop_var("i", 16)
+///     .array("x", 16)
+///     .array("y", 16)
+///     .store(
+///         "y",
+///         AffineExpr::var(0),
+///         Expr::binary(
+///             Op::Add,
+///             Expr::binary(Op::Mul, Expr::load("x", AffineExpr::var(0)), Expr::Const(3)),
+///             Expr::load("y", AffineExpr::var(0)),
+///         ),
+///     )
+///     .build()
+///     .unwrap();
+/// assert_eq!(kernel.total_iterations(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            kernel: Kernel {
+                name: name.into(),
+                loops: Vec::new(),
+                arrays: Vec::new(),
+                body: Vec::new(),
+            },
+        }
+    }
+
+    /// Appends a loop (outermost first).
+    pub fn loop_var(mut self, name: impl Into<String>, trip_count: u64) -> Self {
+        self.kernel.loops.push(LoopVar {
+            name: name.into(),
+            trip_count,
+        });
+        self
+    }
+
+    /// Declares a scratch-pad array.
+    pub fn array(mut self, name: impl Into<String>, len: usize) -> Self {
+        self.kernel.arrays.push(ArrayDecl {
+            name: name.into(),
+            len,
+        });
+        self
+    }
+
+    /// Appends a scalar temporary definition.
+    pub fn let_scalar(mut self, name: impl Into<String>, value: Expr) -> Self {
+        self.kernel.body.push(Stmt::Let {
+            name: name.into(),
+            value,
+        });
+        self
+    }
+
+    /// Appends a store statement.
+    pub fn store(mut self, array: impl Into<String>, index: AffineExpr, value: Expr) -> Self {
+        self.kernel.body.push(Stmt::Store {
+            array: array.into(),
+            index,
+            value,
+        });
+        self
+    }
+
+    /// Appends an accumulate (reduction) statement.
+    pub fn accumulate(
+        mut self,
+        array: impl Into<String>,
+        index: AffineExpr,
+        op: Op,
+        value: Expr,
+    ) -> Self {
+        self.kernel.body.push(Stmt::Accumulate {
+            array: array.into(),
+            index,
+            op,
+            value,
+        });
+        self
+    }
+
+    /// Validates and returns the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::InvalidKernel`] if the kernel fails validation.
+    pub fn build(self) -> Result<Kernel, DfgError> {
+        self.kernel.validate()?;
+        Ok(self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_kernel() -> Kernel {
+        KernelBuilder::new("axpy")
+            .loop_var("i", 8)
+            .array("x", 8)
+            .array("y", 8)
+            .store(
+                "y",
+                AffineExpr::var(0),
+                Expr::binary(
+                    Op::Add,
+                    Expr::binary(Op::Mul, Expr::load("x", AffineExpr::var(0)), Expr::Const(3)),
+                    Expr::load("y", AffineExpr::var(0)),
+                ),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn affine_eval() {
+        let mut e = AffineExpr::var(0);
+        e.add_term(1, 4);
+        let e = e.offset(2);
+        assert_eq!(e.eval(&[3, 5]), 3 + 20 + 2);
+        assert_eq!(AffineExpr::constant(7).eval(&[]), 7);
+    }
+
+    #[test]
+    fn affine_add_merges_terms() {
+        let a = AffineExpr::scaled_var(0, 2);
+        let b = AffineExpr::scaled_var(0, 3).add(&AffineExpr::var(1));
+        let c = a.add(&b);
+        assert_eq!(c.eval(&[1, 1]), 6);
+        assert_eq!(c.coeffs.len(), 2);
+    }
+
+    #[test]
+    fn affine_substitute_rescales() {
+        // i*4 + 1 with i -> 2*i + 1 becomes i*8 + 5.
+        let e = AffineExpr::scaled_var(0, 4).offset(1);
+        let s = e.substitute(0, 2, 1);
+        assert_eq!(s.eval(&[0]), 5);
+        assert_eq!(s.eval(&[1]), 13);
+    }
+
+    #[test]
+    fn affine_cancelling_terms_are_removed() {
+        let mut e = AffineExpr::var(0);
+        e.add_term(0, -1);
+        assert!(e.coeffs.is_empty());
+        assert_eq!(e.eval(&[42]), 0);
+    }
+
+    #[test]
+    fn kernel_validates() {
+        let k = simple_kernel();
+        assert!(k.validate().is_ok());
+        assert_eq!(k.total_iterations(), 8);
+    }
+
+    #[test]
+    fn undeclared_array_rejected() {
+        let err = KernelBuilder::new("bad")
+            .loop_var("i", 4)
+            .store("z", AffineExpr::var(0), Expr::Const(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DfgError::InvalidKernel(_)));
+    }
+
+    #[test]
+    fn scalar_use_before_definition_rejected() {
+        let err = KernelBuilder::new("bad")
+            .loop_var("i", 4)
+            .array("y", 4)
+            .store("y", AffineExpr::var(0), Expr::Scalar("t".into()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DfgError::InvalidKernel(_)));
+    }
+
+    #[test]
+    fn out_of_range_loop_var_rejected() {
+        let err = KernelBuilder::new("bad")
+            .loop_var("i", 4)
+            .array("y", 4)
+            .store("y", AffineExpr::var(1), Expr::Const(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DfgError::InvalidKernel(_)));
+    }
+
+    #[test]
+    fn unroll_divides_trip_count_and_replicates_body() {
+        let k = simple_kernel();
+        let u = k.unroll_innermost(2).unwrap();
+        assert_eq!(u.loops[0].trip_count, 4);
+        assert_eq!(u.body.len(), 2 * k.body.len());
+        assert_eq!(u.name, "axpy_u2");
+        assert_eq!(u.total_iterations(), 4);
+    }
+
+    #[test]
+    fn unroll_rewrites_indices() {
+        let k = simple_kernel();
+        let u = k.unroll_innermost(2).unwrap();
+        // Second replica must access 2*i + 1.
+        if let Stmt::Store { index, .. } = &u.body[1] {
+            assert_eq!(index.eval(&[0]), 1);
+            assert_eq!(index.eval(&[3]), 7);
+        } else {
+            panic!("expected store");
+        }
+    }
+
+    #[test]
+    fn unroll_rejects_non_dividing_factor() {
+        let k = simple_kernel();
+        assert!(k.unroll_innermost(3).is_err());
+        assert!(k.unroll_innermost(0).is_err());
+    }
+
+    #[test]
+    fn unroll_factor_one_is_identity() {
+        let k = simple_kernel();
+        assert_eq!(k.unroll_innermost(1).unwrap(), k);
+    }
+
+    #[test]
+    fn accumulate_requires_binary_op() {
+        let err = KernelBuilder::new("bad")
+            .loop_var("i", 4)
+            .array("y", 4)
+            .accumulate("y", AffineExpr::var(0), Op::Not, Expr::Const(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DfgError::InvalidKernel(_)));
+    }
+
+    #[test]
+    fn expr_compute_op_count() {
+        let e = Expr::binary(
+            Op::Add,
+            Expr::binary(Op::Mul, Expr::Const(1), Expr::Const(2)),
+            Expr::unary(Op::Neg, Expr::Const(3)),
+        );
+        assert_eq!(e.compute_op_count(), 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Operation set of the modelled CGRA functional units.
+//!
+//! The paper's Plaid Collective Unit (PCU) pairs three 16-bit ALUs with one
+//! Arithmetic-Load-Store Unit (ALSU). The ALUs support "ADD, MUL, SHIFT and
+//! various bit-wise operations, totalling 15 operations"; loads and stores are
+//! handled exclusively by the ALSU, which also absorbs predication and
+//! routing-challenged standalone nodes.
+
+use std::fmt;
+
+/// The operation performed by a DFG node.
+///
+/// The first fifteen variants are ALU (compute) operations; `Load` and
+/// `Store` are memory operations executed on ALSUs (or, on the baseline
+/// CGRAs, on any PE with a memory port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Op {
+    /// Two's complement addition.
+    Add,
+    /// Two's complement subtraction.
+    Sub,
+    /// 16-bit multiplication (low half kept).
+    Mul,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Bit-wise AND.
+    And,
+    /// Bit-wise OR.
+    Or,
+    /// Bit-wise XOR.
+    Xor,
+    /// Bit-wise NOT (unary).
+    Not,
+    /// Arithmetic negation (unary).
+    Neg,
+    /// Minimum of the two operands.
+    Min,
+    /// Maximum of the two operands.
+    Max,
+    /// Equality comparison producing 0 or 1.
+    CmpEq,
+    /// Signed less-than comparison producing 0 or 1.
+    CmpLt,
+    /// Absolute value (unary).
+    Abs,
+    /// Memory load from the scratch-pad memory.
+    Load,
+    /// Memory store to the scratch-pad memory.
+    Store,
+}
+
+/// Broad classification of operations used by the mapper and the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Executes on an ALU (a "compute node" in Table 2 of the paper).
+    Compute,
+    /// Executes on an ALSU / memory port (loads and stores).
+    Memory,
+}
+
+impl Op {
+    /// All ALU operations, in a stable order.
+    pub const COMPUTE_OPS: [Op; 15] = [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Shl,
+        Op::Shr,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Not,
+        Op::Neg,
+        Op::Min,
+        Op::Max,
+        Op::CmpEq,
+        Op::CmpLt,
+        Op::Abs,
+    ];
+
+    /// Returns the class of functional unit required by this operation.
+    pub fn class(self) -> OpClass {
+        match self {
+            Op::Load | Op::Store => OpClass::Memory,
+            _ => OpClass::Compute,
+        }
+    }
+
+    /// Whether the operation executes on an ALU.
+    pub fn is_compute(self) -> bool {
+        self.class() == OpClass::Compute
+    }
+
+    /// Whether the operation accesses the scratch-pad memory.
+    pub fn is_memory(self) -> bool {
+        self.class() == OpClass::Memory
+    }
+
+    /// Number of data operands the operation consumes.
+    ///
+    /// Loads take one operand slot (the address is an affine function of the
+    /// loop indices carried on the node itself, so the data operand is unused
+    /// and arity is 0); stores take one value operand.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Not | Op::Neg | Op::Abs => 1,
+            Op::Load => 0,
+            Op::Store => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the operation is commutative in its two operands.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            Op::Add | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Min | Op::Max | Op::CmpEq
+        )
+    }
+
+    /// Evaluate the operation on 16-bit values represented as `i64`.
+    ///
+    /// Values are wrapped to 16 bits after every operation, mirroring the
+    /// 16-bit datapath of the modelled architectures. Unary operations ignore
+    /// `rhs`.
+    pub fn eval(self, lhs: i64, rhs: i64) -> i64 {
+        let wrap = |v: i64| (v as i16) as i64;
+        let l = wrap(lhs);
+        let r = wrap(rhs);
+        let out = match self {
+            Op::Add => l.wrapping_add(r),
+            Op::Sub => l.wrapping_sub(r),
+            Op::Mul => l.wrapping_mul(r),
+            Op::Shl => l.wrapping_shl((r & 0xf) as u32),
+            Op::Shr => i64::from((l as u16) >> ((r & 0xf) as u32)),
+            Op::And => l & r,
+            Op::Or => l | r,
+            Op::Xor => l ^ r,
+            Op::Not => !l,
+            Op::Neg => l.wrapping_neg(),
+            Op::Min => l.min(r),
+            Op::Max => l.max(r),
+            Op::CmpEq => i64::from(l == r),
+            Op::CmpLt => i64::from(l < r),
+            Op::Abs => l.wrapping_abs(),
+            Op::Load | Op::Store => l,
+        };
+        wrap(out)
+    }
+
+    /// Short mnemonic used in DOT dumps and reports.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Shl => "shl",
+            Op::Shr => "shr",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Not => "not",
+            Op::Neg => "neg",
+            Op::Min => "min",
+            Op::Max => "max",
+            Op::CmpEq => "cmpeq",
+            Op::CmpLt => "cmplt",
+            Op::Abs => "abs",
+            Op::Load => "load",
+            Op::Store => "store",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::Compute => f.write_str("compute"),
+            OpClass::Memory => f.write_str("memory"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_op_list_has_fifteen_entries() {
+        assert_eq!(Op::COMPUTE_OPS.len(), 15);
+        for op in Op::COMPUTE_OPS {
+            assert!(op.is_compute());
+            assert!(!op.is_memory());
+        }
+    }
+
+    #[test]
+    fn memory_ops_are_classified_as_memory() {
+        assert!(Op::Load.is_memory());
+        assert!(Op::Store.is_memory());
+        assert_eq!(Op::Load.class(), OpClass::Memory);
+    }
+
+    #[test]
+    fn arity_matches_operand_count() {
+        assert_eq!(Op::Add.arity(), 2);
+        assert_eq!(Op::Not.arity(), 1);
+        assert_eq!(Op::Neg.arity(), 1);
+        assert_eq!(Op::Abs.arity(), 1);
+        assert_eq!(Op::Load.arity(), 0);
+        assert_eq!(Op::Store.arity(), 1);
+    }
+
+    #[test]
+    fn eval_wraps_to_sixteen_bits() {
+        assert_eq!(Op::Add.eval(0x7fff, 1), -0x8000);
+        assert_eq!(Op::Mul.eval(0x100, 0x100), 0);
+        assert_eq!(Op::Shl.eval(1, 15), -0x8000);
+    }
+
+    #[test]
+    fn eval_basic_arithmetic() {
+        assert_eq!(Op::Add.eval(2, 3), 5);
+        assert_eq!(Op::Sub.eval(2, 3), -1);
+        assert_eq!(Op::Mul.eval(7, 6), 42);
+        assert_eq!(Op::Min.eval(-4, 9), -4);
+        assert_eq!(Op::Max.eval(-4, 9), 9);
+        assert_eq!(Op::CmpEq.eval(5, 5), 1);
+        assert_eq!(Op::CmpLt.eval(4, 5), 1);
+        assert_eq!(Op::CmpLt.eval(6, 5), 0);
+        assert_eq!(Op::Abs.eval(-12, 0), 12);
+        assert_eq!(Op::Neg.eval(12, 0), -12);
+        assert_eq!(Op::Not.eval(0, 0), -1);
+    }
+
+    #[test]
+    fn shr_is_logical_on_sixteen_bits() {
+        assert_eq!(Op::Shr.eval(-1, 1), 0x7fff);
+        assert_eq!(Op::Shr.eval(16, 4), 1);
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(Op::Add.is_commutative());
+        assert!(Op::Mul.is_commutative());
+        assert!(!Op::Sub.is_commutative());
+        assert!(!Op::Shl.is_commutative());
+        assert!(!Op::CmpLt.is_commutative());
+    }
+
+    #[test]
+    fn display_uses_mnemonics() {
+        assert_eq!(Op::Add.to_string(), "add");
+        assert_eq!(Op::Load.to_string(), "load");
+        assert_eq!(OpClass::Compute.to_string(), "compute");
+    }
+}

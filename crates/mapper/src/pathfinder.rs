@@ -1,0 +1,190 @@
+//! The PathFinder-style negotiation-based mapper (the paper's "PathFinder"
+//! baseline, Section 6.3, adapted from McMurchie & Ebeling).
+//!
+//! Placement is greedy list scheduling; routing then proceeds in negotiation
+//! rounds: all data edges are routed with congestion *allowed*, after which
+//! the history cost of every overused resource is increased and all routes
+//! are ripped up and re-routed. The process converges when no resource is
+//! overused; otherwise the II is increased.
+
+use plaid_arch::Architecture;
+use plaid_dfg::{Dfg, NodeId};
+
+use crate::error::MapError;
+use crate::mapping::Mapping;
+use crate::mii::mii;
+use crate::placement::{greedy_place, MapState};
+use crate::route::{HardCapacityCost, NegotiatedCost};
+use crate::Mapper;
+
+/// Options of the PathFinder mapper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathFinderOptions {
+    /// Maximum negotiation rounds per II.
+    pub max_rounds: usize,
+    /// Optional cap on the II explored.
+    pub max_ii: Option<u32>,
+}
+
+impl Default for PathFinderOptions {
+    fn default() -> Self {
+        PathFinderOptions {
+            max_rounds: 24,
+            max_ii: None,
+        }
+    }
+}
+
+/// The negotiation-based mapper.
+#[derive(Debug, Clone, Default)]
+pub struct PathFinderMapper {
+    options: PathFinderOptions,
+}
+
+impl PathFinderMapper {
+    /// Creates a mapper with the given options.
+    pub fn new(options: PathFinderOptions) -> Self {
+        PathFinderMapper { options }
+    }
+
+    fn attempt_ii<'a>(&self, dfg: &'a Dfg, arch: &'a Architecture, ii: u32) -> Option<MapState<'a>> {
+        let mut state = MapState::new(dfg, arch, ii);
+        // Placement uses the hard-capacity policy so the starting point is
+        // already congestion-aware; negotiation then owns the routing.
+        if !greedy_place(&mut state, &HardCapacityCost) {
+            return None;
+        }
+        if !state.timing_ok() {
+            return None;
+        }
+        let mut policy = NegotiatedCost::new(arch.resources().len());
+        for _round in 0..self.options.max_rounds {
+            // Rip up all routes and re-route under the current history costs.
+            let edges: Vec<_> = dfg.edges().map(|e| e.id).collect();
+            for e in &edges {
+                state.unroute(*e);
+            }
+            let unrouted = state.route_all(&policy);
+            if unrouted == 0 && state.state.total_overuse() == 0 {
+                return Some(state);
+            }
+            if unrouted > 0 {
+                // Some edge has no path at all within its timing budget; no
+                // amount of negotiation will fix that at this II.
+                return None;
+            }
+            policy.accumulate_history(&state.state, arch);
+        }
+        None
+    }
+}
+
+impl Mapper for PathFinderMapper {
+    fn map(&self, dfg: &Dfg, arch: &Architecture) -> Result<Mapping, MapError> {
+        if dfg.memory_node_count() > 0 && arch.memory_unit_count() == 0 {
+            return Err(MapError::UnsupportedDfg(
+                "DFG contains memory operations but the architecture has no memory-capable unit"
+                    .into(),
+            ));
+        }
+        let start = mii(dfg, arch);
+        let max_ii = self.options.max_ii.unwrap_or(arch.params().max_ii());
+        for ii in start..=max_ii {
+            if let Some(state) = self.attempt_ii(dfg, arch, ii) {
+                let mapping = state.into_mapping(self.name());
+                mapping.validate(dfg, arch)?;
+                return Ok(mapping);
+            }
+        }
+        Err(MapError::NoValidMapping {
+            kernel: dfg.name().to_string(),
+            arch: arch.name().to_string(),
+            max_ii,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "pathfinder"
+    }
+}
+
+/// Convenience used in tests and experiments: checks that all placements in a
+/// mapping sit on distinct `(FU, slot)` pairs.
+pub fn placements_are_exclusive(mapping: &Mapping) -> bool {
+    let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    let mut nodes: Vec<(&NodeId, &crate::mapping::Placement)> = mapping.placements.iter().collect();
+    nodes.sort_by_key(|(n, _)| n.0);
+    for (_, p) in nodes {
+        if !seen.insert((p.fu.0, p.cycle % mapping.ii)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaid_arch::{plaid, spatio_temporal};
+    use plaid_dfg::kernel::{AffineExpr, Expr, KernelBuilder};
+    use plaid_dfg::lower::{lower_kernel, LoweringOptions};
+    use plaid_dfg::Op;
+
+    fn stencil_kernel() -> Dfg {
+        let kernel = KernelBuilder::new("jacobi_like")
+            .loop_var("i", 16)
+            .array("a", 18)
+            .array("b", 16)
+            .store(
+                "b",
+                AffineExpr::var(0),
+                Expr::binary(
+                    Op::Add,
+                    Expr::binary(
+                        Op::Add,
+                        Expr::load("a", AffineExpr::var(0)),
+                        Expr::load("a", AffineExpr::var(0).offset(1)),
+                    ),
+                    Expr::load("a", AffineExpr::var(0).offset(2)),
+                ),
+            )
+            .build()
+            .unwrap();
+        lower_kernel(&kernel, &LoweringOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn maps_stencil_on_spatio_temporal() {
+        let dfg = stencil_kernel();
+        let arch = spatio_temporal::build(4, 4);
+        let mapping = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        mapping.validate(&dfg, &arch).unwrap();
+        assert!(placements_are_exclusive(&mapping));
+    }
+
+    #[test]
+    fn maps_stencil_on_plaid() {
+        let dfg = stencil_kernel();
+        let arch = plaid::build(2, 2);
+        let mapping = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        mapping.validate(&dfg, &arch).unwrap();
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let dfg = stencil_kernel();
+        let arch = spatio_temporal::build(4, 4);
+        let a = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        let b = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        assert_eq!(a.ii, b.ii);
+        assert_eq!(a.routes.len(), b.routes.len());
+    }
+
+    #[test]
+    fn ii_respects_lower_bound() {
+        let dfg = stencil_kernel();
+        let arch = spatio_temporal::build(4, 4);
+        let mapping = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        assert!(mapping.ii >= mii(&dfg, &arch));
+    }
+}

@@ -1,0 +1,378 @@
+//! Shared placement / incremental-routing machinery used by all mappers.
+//!
+//! A [`MapState`] owns the partial mapping for a fixed II: node placements,
+//! edge routes and the modulo occupancy table. Mappers mutate it through
+//! place/unplace and route/unroute operations and read a scalar cost that
+//! combines unrouted edges, route length and congestion.
+
+use std::collections::HashMap;
+
+use plaid_arch::{Architecture, ResourceId};
+use plaid_dfg::{Dfg, DfgEdge, EdgeId, EdgeKind, NodeId};
+
+use crate::mapping::{Mapping, Placement, Route};
+use crate::route::{commit_route, find_route, release_route, CostPolicy, RouteRequest};
+use crate::state::RoutingState;
+
+/// Cost charged for every data-carrying edge that could not be routed.
+pub const UNROUTED_PENALTY: f64 = 1_000.0;
+
+/// Mutable mapping state for one II attempt.
+#[derive(Debug, Clone)]
+pub struct MapState<'a> {
+    /// The DFG being mapped.
+    pub dfg: &'a Dfg,
+    /// The target architecture.
+    pub arch: &'a Architecture,
+    /// Initiation interval of this attempt.
+    pub ii: u32,
+    /// Modulo occupancy (functional units and switches).
+    pub state: RoutingState,
+    /// Current placements.
+    pub placements: HashMap<NodeId, Placement>,
+    /// Current routes of data-carrying edges.
+    pub routes: HashMap<EdgeId, Route>,
+}
+
+impl<'a> MapState<'a> {
+    /// Creates an empty state for the given II.
+    pub fn new(dfg: &'a Dfg, arch: &'a Architecture, ii: u32) -> Self {
+        MapState {
+            dfg,
+            arch,
+            ii,
+            state: RoutingState::new(arch, ii),
+            placements: HashMap::new(),
+            routes: HashMap::new(),
+        }
+    }
+
+    /// Whether `fu` can host `node` (capability plus a free modulo slot).
+    pub fn can_place(&self, node: NodeId, fu: ResourceId, cycle: u32) -> bool {
+        let n = self.dfg.node(node);
+        let Some(caps) = self.arch.resource(fu).fu_caps() else {
+            return false;
+        };
+        if n.op.is_memory() && !caps.memory {
+            return false;
+        }
+        if n.op.is_compute() && !caps.compute {
+            return false;
+        }
+        self.state.fits(fu, cycle % self.ii, node)
+    }
+
+    /// Places `node` on `(fu, cycle)`, occupying the FU's modulo slot.
+    pub fn place(&mut self, node: NodeId, fu: ResourceId, cycle: u32) {
+        debug_assert!(self.can_place(node, fu, cycle));
+        self.state.occupy(fu, cycle, node);
+        self.placements.insert(node, Placement { fu, cycle });
+    }
+
+    /// Removes `node` and un-routes every edge incident to it.
+    pub fn unplace(&mut self, node: NodeId) {
+        if let Some(p) = self.placements.remove(&node) {
+            self.state.release(p.fu, p.cycle, node);
+        }
+        let incident: Vec<EdgeId> = self
+            .dfg
+            .edges()
+            .filter(|e| e.src == node || e.dst == node)
+            .map(|e| e.id)
+            .collect();
+        for e in incident {
+            self.unroute(e);
+        }
+    }
+
+    /// Removes the route of `edge` from the occupancy table, if present.
+    pub fn unroute(&mut self, edge: EdgeId) {
+        if let Some(route) = self.routes.remove(&edge) {
+            release_route(&mut self.state, &route, self.dfg.edge(edge).src);
+        }
+    }
+
+    /// Required arrival cycle of an edge given its endpoints' placements.
+    fn arrival_cycle(&self, edge: &DfgEdge) -> Option<(u32, u32)> {
+        let src = self.placements.get(&edge.src)?;
+        let dst = self.placements.get(&edge.dst)?;
+        let arrival = match edge.kind {
+            EdgeKind::Data => dst.cycle,
+            EdgeKind::Recurrence { distance } => dst.cycle + distance * self.ii,
+        };
+        Some((src.cycle, arrival))
+    }
+
+    /// Attempts to route `edge` under `policy`. Returns `true` on success.
+    /// Edges that do not carry data (ordering-only) are trivially "routed".
+    pub fn route_edge(&mut self, edge: EdgeId, policy: &impl CostPolicy) -> bool {
+        let e = self.dfg.edge(edge).clone();
+        if !self.dfg.edge_carries_data(&e) {
+            return true;
+        }
+        if self.routes.contains_key(&edge) {
+            return true;
+        }
+        let (Some(src), Some(dst)) = (self.placements.get(&e.src), self.placements.get(&e.dst))
+        else {
+            return false;
+        };
+        let Some((_, arrival)) = self.arrival_cycle(&e) else {
+            return false;
+        };
+        let request = RouteRequest {
+            src_fu: src.fu,
+            src_cycle: src.cycle,
+            dst_fu: dst.fu,
+            arrival_cycle: arrival,
+            value: e.src,
+        };
+        match find_route(self.arch, &self.state, &request, policy) {
+            Some((route, _)) => {
+                commit_route(&mut self.state, &route, e.src);
+                self.routes.insert(edge, route);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Routes every currently unrouted data-carrying edge whose endpoints are
+    /// placed; returns the number of edges that remain unrouted.
+    pub fn route_all(&mut self, policy: &impl CostPolicy) -> usize {
+        let edges: Vec<EdgeId> = self.dfg.edges().map(|e| e.id).collect();
+        let mut failures = 0;
+        for e in edges {
+            if !self.route_edge(e, policy) {
+                failures += 1;
+            }
+        }
+        failures
+    }
+
+    /// Number of data-carrying edges that currently have no route.
+    pub fn unrouted_edges(&self) -> usize {
+        self.dfg
+            .edges()
+            .filter(|e| self.dfg.edge_carries_data(e) && !self.routes.contains_key(&e.id))
+            .count()
+    }
+
+    /// Whether timing constraints hold for every edge whose endpoints are
+    /// placed (consumer strictly after producer, recurrences shifted by
+    /// `distance × II`).
+    pub fn timing_ok(&self) -> bool {
+        self.dfg.edges().all(|e| match self.arrival_cycle(e) {
+            Some((src_cycle, arrival)) => arrival >= src_cycle + 1,
+            None => true,
+        })
+    }
+
+    /// Scalar quality: lower is better. Unrouted edges dominate, then total
+    /// hop count, then congestion pressure.
+    pub fn cost(&self) -> f64 {
+        let unrouted = self.unrouted_edges() as f64;
+        let hops: usize = self.routes.values().map(|r| r.hops.len()).sum();
+        let congestion = f64::from(self.state.total_overuse());
+        unrouted * UNROUTED_PENALTY + hops as f64 + congestion * 10.0
+    }
+
+    /// Whether the state is a complete, legal mapping.
+    pub fn is_complete(&self) -> bool {
+        self.placements.len() == self.dfg.node_count()
+            && self.unrouted_edges() == 0
+            && self.state.total_overuse() == 0
+            && self.timing_ok()
+    }
+
+    /// Earliest schedule cycle of `node` respecting its placed same-iteration
+    /// predecessors (0 if none are placed).
+    pub fn earliest_cycle(&self, node: NodeId) -> u32 {
+        self.dfg
+            .in_edges(node)
+            .filter(|e| !e.kind.is_recurrence())
+            .filter_map(|e| self.placements.get(&e.src).map(|p| p.cycle + 1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Candidate functional units for `node`, cheapest tiles first: units are
+    /// sorted by current load and distance to the node's placed neighbours.
+    pub fn candidate_fus(&self, node: NodeId) -> Vec<ResourceId> {
+        let needs_memory = self.dfg.node(node).op.is_memory();
+        let mut fus = self.arch.units_supporting(needs_memory);
+        let neighbour_positions: Vec<ResourceId> = self
+            .dfg
+            .predecessors(node)
+            .into_iter()
+            .chain(self.dfg.successors(node))
+            .filter_map(|n| self.placements.get(&n).map(|p| p.fu))
+            .collect();
+        fus.sort_by_key(|&fu| {
+            let load = self.state.resource_load(fu);
+            let distance: u32 = neighbour_positions
+                .iter()
+                .map(|&other| self.arch.resource_distance(fu, other))
+                .sum();
+            (distance, load, fu.0)
+        });
+        fus
+    }
+
+    /// Converts the state into an immutable [`Mapping`].
+    pub fn into_mapping(self, mapper_name: &str) -> Mapping {
+        Mapping {
+            arch_name: self.arch.name().to_string(),
+            mapper_name: mapper_name.to_string(),
+            ii: self.ii,
+            placements: self.placements,
+            routes: self.routes,
+        }
+    }
+}
+
+/// Greedy list scheduling: place nodes in topological order, each at its
+/// earliest feasible cycle on the best candidate FU, routing incident input
+/// edges immediately. Returns `false` if any node could not be placed.
+pub fn greedy_place(state: &mut MapState<'_>, policy: &impl CostPolicy) -> bool {
+    let order = match state.dfg.topological_order() {
+        Ok(o) => o,
+        Err(_) => return false,
+    };
+    for node in order {
+        if !place_node_best_effort(state, node, policy) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Places one node at its earliest feasible cycle (searching one full II of
+/// offsets) on the cheapest FU that admits routing of its incoming data edges.
+pub fn place_node_best_effort(
+    state: &mut MapState<'_>,
+    node: NodeId,
+    policy: &impl CostPolicy,
+) -> bool {
+    let base = state.earliest_cycle(node);
+    let candidates = state.candidate_fus(node);
+    for offset in 0..(state.ii * 2) {
+        let cycle = base + offset;
+        for &fu in &candidates {
+            if !state.can_place(node, fu, cycle) {
+                continue;
+            }
+            state.place(node, fu, cycle);
+            // Route the incoming data edges from already-placed producers.
+            let incoming: Vec<EdgeId> = state
+                .dfg
+                .in_edges(node)
+                .filter(|e| state.placements.contains_key(&e.src))
+                .map(|e| e.id)
+                .collect();
+            let mut ok = true;
+            for e in &incoming {
+                if !state.route_edge(*e, policy) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return true;
+            }
+            state.unplace(node);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::HardCapacityCost;
+    use plaid_arch::spatio_temporal;
+    use plaid_dfg::kernel::{AffineExpr, Expr, KernelBuilder};
+    use plaid_dfg::lower::{lower_kernel, LoweringOptions};
+    use plaid_dfg::Op;
+
+    fn small_dfg() -> Dfg {
+        let kernel = KernelBuilder::new("axpy")
+            .loop_var("i", 8)
+            .array("x", 8)
+            .array("y", 8)
+            .store(
+                "y",
+                AffineExpr::var(0),
+                Expr::binary(
+                    Op::Add,
+                    Expr::binary(Op::Mul, Expr::load("x", AffineExpr::var(0)), Expr::Const(3)),
+                    Expr::load("y", AffineExpr::var(0)),
+                ),
+            )
+            .build()
+            .unwrap();
+        lower_kernel(&kernel, &LoweringOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn greedy_placement_completes_simple_kernels() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mut state = MapState::new(&dfg, &arch, 2);
+        assert!(greedy_place(&mut state, &HardCapacityCost));
+        assert_eq!(state.placements.len(), dfg.node_count());
+        assert_eq!(state.unrouted_edges(), 0);
+        assert!(state.is_complete());
+        assert!(state.cost() < UNROUTED_PENALTY);
+    }
+
+    #[test]
+    fn unplace_releases_fu_and_routes() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mut state = MapState::new(&dfg, &arch, 2);
+        assert!(greedy_place(&mut state, &HardCapacityCost));
+        let some_node = dfg.node_ids().next().unwrap();
+        let before = state.state.occupied_slots();
+        state.unplace(some_node);
+        assert!(state.state.occupied_slots() < before);
+        assert!(!state.is_complete());
+    }
+
+    #[test]
+    fn earliest_cycle_respects_predecessors() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mut state = MapState::new(&dfg, &arch, 2);
+        assert!(greedy_place(&mut state, &HardCapacityCost));
+        for edge in dfg.edges().filter(|e| !e.kind.is_recurrence()) {
+            let src = state.placements[&edge.src].cycle;
+            let dst = state.placements[&edge.dst].cycle;
+            assert!(dst > src, "edge {} scheduled backwards", edge.id);
+        }
+    }
+
+    #[test]
+    fn candidate_fus_filter_memory_capability() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let state = MapState::new(&dfg, &arch, 2);
+        let load = dfg.memory_nodes().next().unwrap().id;
+        let candidates = state.candidate_fus(load);
+        assert_eq!(candidates.len(), 4);
+        assert!(candidates
+            .iter()
+            .all(|&fu| arch.resource(fu).fu_caps().unwrap().memory));
+    }
+
+    #[test]
+    fn into_mapping_round_trips_and_validates() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mut state = MapState::new(&dfg, &arch, 2);
+        assert!(greedy_place(&mut state, &HardCapacityCost));
+        let mapping = state.into_mapping("greedy");
+        assert!(mapping.validate(&dfg, &arch).is_ok());
+        assert_eq!(mapping.ii, 2);
+    }
+}

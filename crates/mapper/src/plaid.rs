@@ -1,0 +1,455 @@
+//! Algorithm 2: the Plaid hierarchical, motif-aware mapper.
+//!
+//! The mapper first runs motif identification (Algorithm 1, `plaid-motif`),
+//! then maps the hierarchical DFG: whole motifs are placed onto PCUs using the
+//! flexible schedule templates of Section 5.2 (so their internal dependencies
+//! ride the local router / bypass paths), standalone nodes are placed
+//! individually, and all remaining (inter-motif) dependencies are routed over
+//! the hierarchical network with Dijkstra's algorithm. When a placement gets
+//! stuck the mapper rips up a random motif and retries alternative PCUs and
+//! templates, occasionally accepting worse states, in the spirit of simulated
+//! annealing. The II grows only when the repair budget is exhausted.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use plaid_arch::{ArchClass, Architecture, Cluster, HardwiredPattern};
+use plaid_dfg::{Dfg, EdgeId, NodeId};
+use plaid_motif::{identify_motifs, schedule_templates, HierarchicalDfg, IdentifyOptions, Motif, MotifKind};
+
+use crate::error::MapError;
+use crate::mapping::Mapping;
+use crate::mii::mii;
+use crate::placement::{place_node_best_effort, MapState};
+use crate::route::HardCapacityCost;
+use crate::Mapper;
+
+/// Options of the Plaid mapper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaidMapperOptions {
+    /// RNG seed for the repair phase.
+    pub seed: u64,
+    /// Motif-identification options (Algorithm 1).
+    pub identify: IdentifyOptions,
+    /// Repair attempts per II before increasing the II.
+    pub repair_attempts: usize,
+    /// Optional cap on the II explored.
+    pub max_ii: Option<u32>,
+}
+
+impl Default for PlaidMapperOptions {
+    fn default() -> Self {
+        PlaidMapperOptions {
+            seed: 0x9A1D_0002,
+            identify: IdentifyOptions::default(),
+            repair_attempts: 200,
+            max_ii: None,
+        }
+    }
+}
+
+/// The hierarchical motif mapper.
+#[derive(Debug, Clone, Default)]
+pub struct PlaidMapper {
+    options: PlaidMapperOptions,
+}
+
+impl PlaidMapper {
+    /// Creates a mapper with the given options.
+    pub fn new(options: PlaidMapperOptions) -> Self {
+        PlaidMapper { options }
+    }
+
+    /// Maps one motif onto one cluster with one template at one start cycle.
+    /// Returns `false` (leaving the state untouched) if anything fails.
+    fn try_place_motif(
+        state: &mut MapState<'_>,
+        motif: &Motif,
+        cluster: &Cluster,
+        template_index: usize,
+        start: u32,
+    ) -> bool {
+        let templates = schedule_templates(motif.kind);
+        let Some(template) = templates.get(template_index) else {
+            return false;
+        };
+        // Hardwired PCUs only execute their own motif kind.
+        if let Some(pattern) = cluster.hardwired {
+            if !kind_matches(pattern, motif.kind) {
+                return false;
+            }
+        }
+        if cluster.alus.len() < 3 && motif.kind.node_count() > cluster.alus.len() {
+            return false;
+        }
+        // Check every slot is placeable before mutating.
+        for slot in &template.slots {
+            let node = motif.nodes[slot.node];
+            let Some(&fu) = cluster.alus.get(slot.alu) else {
+                return false;
+            };
+            if !state.can_place(node, fu, start + slot.cycle) {
+                return false;
+            }
+        }
+        // Place, then route the motif-internal edges plus any edge whose other
+        // endpoint is already placed.
+        let mut placed: Vec<NodeId> = Vec::new();
+        for slot in &template.slots {
+            let node = motif.nodes[slot.node];
+            let fu = cluster.alus[slot.alu];
+            state.place(node, fu, start + slot.cycle);
+            placed.push(node);
+        }
+        let incident: Vec<EdgeId> = state
+            .dfg
+            .edges()
+            .filter(|e| {
+                (placed.contains(&e.src) || placed.contains(&e.dst))
+                    && state.placements.contains_key(&e.src)
+                    && state.placements.contains_key(&e.dst)
+            })
+            .map(|e| e.id)
+            .collect();
+        for e in incident {
+            if !state.route_edge(e, &HardCapacityCost) {
+                for &n in &placed {
+                    state.unplace(n);
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Earliest start cycle for a motif under a specific template, respecting
+    /// the already-placed external producers of its nodes.
+    fn motif_earliest(state: &MapState<'_>, motif: &Motif, template_index: usize) -> u32 {
+        let templates = schedule_templates(motif.kind);
+        let Some(template) = templates.get(template_index) else {
+            return 0;
+        };
+        let mut earliest = 0u32;
+        for slot in &template.slots {
+            let node = motif.nodes[slot.node];
+            let node_earliest = state.earliest_cycle(node);
+            earliest = earliest.max(node_earliest.saturating_sub(slot.cycle));
+        }
+        earliest
+    }
+
+    /// Places one motif, scanning clusters (least-loaded first), templates and
+    /// start offsets. Returns `true` on success.
+    fn place_motif(state: &mut MapState<'_>, motif: &Motif, rng: &mut SmallRng, randomize: bool) -> bool {
+        let mut clusters: Vec<Cluster> = state.arch.clusters().to_vec();
+        // "Map the motif to a PE with the least routing resource [usage]":
+        // prefer hardwired clusters matching the kind, then least-loaded ones.
+        clusters.sort_by_key(|c| {
+            let load: u32 = c
+                .alus
+                .iter()
+                .map(|&fu| state.state.resource_load(fu))
+                .sum::<u32>()
+                + c.local_router
+                    .map(|r| state.state.resource_load(r))
+                    .unwrap_or(0);
+            let hardwired_bonus = match c.hardwired {
+                Some(p) if kind_matches(p, motif.kind) => 0u32,
+                Some(_) => 1_000,
+                None => 10,
+            };
+            (hardwired_bonus, load, c.tile as u32)
+        });
+        if randomize && clusters.len() > 1 {
+            let pick = rng.gen_range(0..clusters.len());
+            clusters.swap(0, pick);
+        }
+        let template_count = schedule_templates(motif.kind).len();
+        for cluster in &clusters {
+            for template_index in 0..template_count {
+                let base = Self::motif_earliest(state, motif, template_index);
+                for offset in 0..state.ii {
+                    if Self::try_place_motif(state, motif, cluster, template_index, base + offset) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn attempt_ii<'a>(
+        &self,
+        dfg: &'a Dfg,
+        arch: &'a Architecture,
+        hdfg: &HierarchicalDfg,
+        ii: u32,
+        rng: &mut SmallRng,
+    ) -> Option<MapState<'a>> {
+        let policy = HardCapacityCost;
+        let mut state = MapState::new(dfg, arch, ii);
+
+        // Line 1: sort motifs by data dependency (ASAP level of their nodes).
+        let levels = dfg.asap_levels().ok()?;
+        let mut motif_order: Vec<usize> = (0..hdfg.motifs().len()).collect();
+        motif_order.sort_by_key(|&i| {
+            hdfg.motifs()[i]
+                .nodes
+                .iter()
+                .map(|n| levels.get(n).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(0)
+        });
+
+        // Interleave standalone nodes and motifs in global topological order so
+        // producers are placed before consumers whenever possible.
+        let order = dfg.topological_order().ok()?;
+        let mut placed_motifs = vec![false; hdfg.motifs().len()];
+        for node in order {
+            if state.placements.contains_key(&node) {
+                continue;
+            }
+            match hdfg.motif_of(node) {
+                Some(mi) if !placed_motifs[mi] => {
+                    placed_motifs[mi] = true;
+                    if !Self::place_motif(&mut state, &hdfg.motifs()[mi], rng, false) {
+                        // Fall back to individual placement of the motif's
+                        // nodes; generality is never lost (Section 3.1).
+                        for &n in &hdfg.motifs()[mi].nodes {
+                            if !state.placements.contains_key(&n)
+                                && !place_node_best_effort(&mut state, n, &policy)
+                            {
+                                return self.repair(state, hdfg, rng);
+                            }
+                        }
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    if !place_node_best_effort(&mut state, node, &policy) {
+                        return self.repair(state, hdfg, rng);
+                    }
+                }
+            }
+        }
+        state.route_all(&policy);
+        if state.is_complete() {
+            return Some(state);
+        }
+        self.repair(state, hdfg, rng)
+    }
+
+    /// Lines 5-11 of Algorithm 2: rip up one motif (or standalone node),
+    /// re-place it with randomized candidates and keep the best outcome,
+    /// occasionally accepting worse states.
+    fn repair<'a>(
+        &self,
+        mut state: MapState<'a>,
+        hdfg: &HierarchicalDfg,
+        rng: &mut SmallRng,
+    ) -> Option<MapState<'a>> {
+        let policy = HardCapacityCost;
+        let mut best_cost = state.cost();
+        for _ in 0..self.options.repair_attempts {
+            if state.is_complete() {
+                return Some(state);
+            }
+            let snapshot = state.clone();
+            // Pick a random motif or standalone node to rip up.
+            let unit_count = hdfg.unit_count().max(1);
+            let pick = rng.gen_range(0..unit_count);
+            let ripped_nodes: Vec<NodeId> = if pick < hdfg.motifs().len() {
+                hdfg.motifs()[pick].nodes.clone()
+            } else {
+                let idx = pick - hdfg.motifs().len();
+                hdfg.standalone_nodes()
+                    .get(idx)
+                    .map(|&n| vec![n])
+                    .unwrap_or_default()
+            };
+            if ripped_nodes.is_empty() {
+                continue;
+            }
+            for &n in &ripped_nodes {
+                state.unplace(n);
+            }
+            // Re-place.
+            let ok = if pick < hdfg.motifs().len() {
+                Self::place_motif(&mut state, &hdfg.motifs()[pick], rng, true)
+            } else {
+                ripped_nodes
+                    .iter()
+                    .all(|&n| place_node_best_effort(&mut state, n, &policy))
+            };
+            if !ok {
+                state = snapshot;
+                continue;
+            }
+            // Re-route everything that is still missing.
+            state.route_all(&policy);
+            let new_cost = state.cost() + if state.timing_ok() { 0.0 } else { 500.0 };
+            let accept = new_cost <= best_cost || rng.gen::<f64>() < 0.05;
+            if accept {
+                best_cost = new_cost;
+            } else {
+                state = snapshot;
+            }
+        }
+        if state.is_complete() {
+            Some(state)
+        } else {
+            None
+        }
+    }
+}
+
+/// Whether a hardwired pattern can execute a motif of the given kind.
+fn kind_matches(pattern: HardwiredPattern, kind: MotifKind) -> bool {
+    matches!(
+        (pattern, kind),
+        (HardwiredPattern::FanIn, MotifKind::FanIn)
+            | (HardwiredPattern::FanOut, MotifKind::FanOut)
+            | (HardwiredPattern::Unicast, MotifKind::Unicast)
+            | (_, MotifKind::Pair)
+    )
+}
+
+impl Mapper for PlaidMapper {
+    fn map(&self, dfg: &Dfg, arch: &Architecture) -> Result<Mapping, MapError> {
+        if dfg.memory_node_count() > 0 && arch.memory_unit_count() == 0 {
+            return Err(MapError::UnsupportedDfg(
+                "DFG contains memory operations but the architecture has no memory-capable unit"
+                    .into(),
+            ));
+        }
+        // On non-Plaid fabrics every cluster has a single ALU, so motifs are
+        // mapped node-by-node; the hierarchical strategy only pays off on the
+        // PCU array, which is exactly the paper's observation in Figure 18.
+        let hdfg = if arch.class() == ArchClass::Plaid {
+            identify_motifs(dfg, &self.options.identify)
+        } else {
+            HierarchicalDfg::new(dfg, Vec::new())
+        };
+        let mut rng = SmallRng::seed_from_u64(self.options.seed);
+        let start = mii(dfg, arch);
+        let max_ii = self.options.max_ii.unwrap_or(arch.params().max_ii());
+        for ii in start..=max_ii {
+            if let Some(state) = self.attempt_ii(dfg, arch, &hdfg, ii, &mut rng) {
+                let mapping = state.into_mapping(self.name());
+                mapping.validate(dfg, arch)?;
+                return Ok(mapping);
+            }
+        }
+        Err(MapError::NoValidMapping {
+            kernel: dfg.name().to_string(),
+            arch: arch.name().to_string(),
+            max_ii,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "plaid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaid_arch::plaid as plaid_fabric;
+    use plaid_arch::{specialize, spatio_temporal};
+    use plaid_dfg::kernel::{AffineExpr, Expr, KernelBuilder};
+    use plaid_dfg::lower::{lower_kernel, LoweringOptions};
+    use plaid_dfg::Op;
+
+    fn gemm_like(unroll: u64) -> Dfg {
+        let kernel = KernelBuilder::new("gemm_like")
+            .loop_var("i", 4)
+            .loop_var("j", 4)
+            .loop_var("k", 8)
+            .array("a", 32)
+            .array("b", 32)
+            .array("c", 16)
+            .accumulate(
+                "c",
+                AffineExpr::scaled_var(0, 4).add(&AffineExpr::var(1)),
+                Op::Add,
+                Expr::binary(
+                    Op::Mul,
+                    Expr::load("a", AffineExpr::scaled_var(0, 8).add(&AffineExpr::var(2))),
+                    Expr::load("b", AffineExpr::scaled_var(2, 4).add(&AffineExpr::var(1))),
+                ),
+            )
+            .build()
+            .unwrap();
+        lower_kernel(&kernel, &LoweringOptions::unrolled(unroll)).unwrap()
+    }
+
+    #[test]
+    fn maps_gemm_on_plaid() {
+        let dfg = gemm_like(2);
+        let arch = plaid_fabric::build(2, 2);
+        let mapping = PlaidMapper::default().map(&dfg, &arch).unwrap();
+        mapping.validate(&dfg, &arch).unwrap();
+        assert!(mapping.ii >= mii(&dfg, &arch));
+    }
+
+    #[test]
+    fn motif_nodes_land_in_the_same_pcu() {
+        let dfg = gemm_like(2);
+        let arch = plaid_fabric::build(2, 2);
+        let hdfg = identify_motifs(&dfg, &IdentifyOptions::default());
+        let mapping = PlaidMapper::default().map(&dfg, &arch).unwrap();
+        // At least one identified motif should have all nodes on one tile,
+        // demonstrating collective execution.
+        let colocated = hdfg.motifs().iter().filter(|m| {
+            let tiles: Vec<usize> = m
+                .nodes
+                .iter()
+                .map(|n| arch.resource(mapping.placements[n].fu).tile)
+                .collect();
+            tiles.windows(2).all(|w| w[0] == w[1])
+        });
+        assert!(colocated.count() >= 1);
+    }
+
+    #[test]
+    fn works_on_spatio_temporal_fabric_too() {
+        let dfg = gemm_like(1);
+        let arch = spatio_temporal::build(4, 4);
+        let mapping = PlaidMapper::default().map(&dfg, &arch).unwrap();
+        mapping.validate(&dfg, &arch).unwrap();
+    }
+
+    #[test]
+    fn maps_onto_domain_specialized_plaid_ml() {
+        let dfg = gemm_like(2);
+        let arch = specialize::plaid_ml_2x2();
+        let mapping = PlaidMapper::default().map(&dfg, &arch).unwrap();
+        mapping.validate(&dfg, &arch).unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let dfg = gemm_like(2);
+        let arch = plaid_fabric::build(2, 2);
+        let a = PlaidMapper::default().map(&dfg, &arch).unwrap();
+        let b = PlaidMapper::default().map(&dfg, &arch).unwrap();
+        assert_eq!(a.ii, b.ii);
+        assert_eq!(a.placements, b.placements);
+    }
+
+    #[test]
+    fn hardwired_pattern_matching() {
+        assert!(kind_matches(HardwiredPattern::FanIn, MotifKind::FanIn));
+        assert!(!kind_matches(HardwiredPattern::FanIn, MotifKind::FanOut));
+        assert!(kind_matches(HardwiredPattern::Unicast, MotifKind::Pair));
+    }
+
+    #[test]
+    fn scales_to_three_by_three() {
+        let dfg = gemm_like(4);
+        let arch = plaid_fabric::build(3, 3);
+        let mapping = PlaidMapper::default().map(&dfg, &arch).unwrap();
+        mapping.validate(&dfg, &arch).unwrap();
+    }
+}

@@ -1,0 +1,425 @@
+//! Dijkstra-based routing over the time-extended (modulo) resource graph.
+//!
+//! A route delivers the value produced by a node placed at `(src_fu, t_src)`
+//! to a consumer placed at `(dst_fu, t_dst)` (with `t_dst` already shifted by
+//! `distance × II` for recurrence edges). The route must take *exactly*
+//! `t_dst − t_src` cycles: a value arriving an II too late would belong to the
+//! wrong iteration. Waiting is expressed physically, by looping on a
+//! register/hold resource (the self-links the architectures provide).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use plaid_arch::{Architecture, ResourceId};
+use plaid_dfg::NodeId;
+
+use crate::mapping::{Route, RouteHop};
+use crate::state::RoutingState;
+
+/// A routing request for one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteRequest {
+    /// Producer functional unit.
+    pub src_fu: ResourceId,
+    /// Producer schedule cycle.
+    pub src_cycle: u32,
+    /// Consumer functional unit.
+    pub dst_fu: ResourceId,
+    /// Absolute arrival cycle (consumer cycle, plus `distance × II` for
+    /// recurrence edges).
+    pub arrival_cycle: u32,
+    /// The value being routed (the producer node id); identical values share
+    /// switch capacity.
+    pub value: NodeId,
+}
+
+/// Per-hop cost policy.
+pub trait CostPolicy {
+    /// Cost of occupying `(resource, slot)` with `value`, or `None` if the
+    /// resource may not be used (hard capacity).
+    fn hop_cost(
+        &self,
+        state: &RoutingState,
+        resource: ResourceId,
+        slot: u32,
+        value: NodeId,
+    ) -> Option<f64>;
+}
+
+/// Hard-capacity cost policy used by the SA and Plaid mappers: a congested
+/// resource is forbidden, otherwise cost grows mildly with its load so the
+/// router naturally spreads traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HardCapacityCost;
+
+impl CostPolicy for HardCapacityCost {
+    fn hop_cost(
+        &self,
+        state: &RoutingState,
+        resource: ResourceId,
+        slot: u32,
+        value: NodeId,
+    ) -> Option<f64> {
+        if !state.fits(resource, slot, value) {
+            return None;
+        }
+        Some(1.0 + 0.2 * f64::from(state.usage(resource, slot)))
+    }
+}
+
+/// Negotiated-congestion cost policy (PathFinder): overuse is permitted but
+/// increasingly expensive, steered by per-resource history costs.
+#[derive(Debug, Clone)]
+pub struct NegotiatedCost {
+    /// History cost per resource, grown after each routing iteration.
+    pub history: Vec<f64>,
+    /// Weight of present congestion.
+    pub present_factor: f64,
+}
+
+impl NegotiatedCost {
+    /// Creates a policy with zero history for `resource_count` resources.
+    pub fn new(resource_count: usize) -> Self {
+        NegotiatedCost {
+            history: vec![0.0; resource_count],
+            present_factor: 2.0,
+        }
+    }
+
+    /// Increases the history cost of every currently overused resource.
+    pub fn accumulate_history(&mut self, state: &RoutingState, arch: &Architecture) {
+        for r in arch.resources() {
+            for slot in 0..state.ii() {
+                if state.overuse(r.id, slot) > 0 {
+                    self.history[r.id.0 as usize] += 1.0;
+                }
+            }
+        }
+    }
+}
+
+impl CostPolicy for NegotiatedCost {
+    fn hop_cost(
+        &self,
+        state: &RoutingState,
+        resource: ResourceId,
+        slot: u32,
+        value: NodeId,
+    ) -> Option<f64> {
+        let usage = state.usage(resource, slot);
+        let capacity = state.capacity(resource);
+        let present = if state.fits(resource, slot, value) {
+            f64::from(usage) * 0.2
+        } else {
+            self.present_factor * f64::from(usage + 1 - capacity)
+        };
+        Some(1.0 + present + self.history[resource.0 as usize])
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct QueueEntry {
+    cost: f64,
+    resource: u32,
+    elapsed: u32,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.resource.cmp(&self.resource))
+            .then_with(|| other.elapsed.cmp(&self.elapsed))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Finds the cheapest route satisfying `request`, or `None` if no route exists
+/// under the given cost policy.
+///
+/// The returned route contains only intermediate switch hops; both functional
+/// units are excluded. The route's cost (sum of hop costs) is returned
+/// alongside it.
+pub fn find_route(
+    arch: &Architecture,
+    state: &RoutingState,
+    request: &RouteRequest,
+    policy: &impl CostPolicy,
+) -> Option<(Route, f64)> {
+    if request.arrival_cycle <= request.src_cycle {
+        return None;
+    }
+    let budget = request.arrival_cycle - request.src_cycle;
+    let n = arch.resources().len();
+    let width = (budget + 1) as usize;
+    let index = |r: u32, e: u32| r as usize * width + e as usize;
+    let mut best = vec![f64::INFINITY; n * width];
+    let mut parent: Vec<Option<(u32, u32)>> = vec![None; n * width];
+    let mut heap = BinaryHeap::new();
+
+    // Seed: leave the source FU along each outgoing link.
+    for link in arch.out_links(request.src_fu) {
+        if arch.resource(link.to).kind.is_func_unit() {
+            // A route may only end at the destination FU, and entering it is
+            // handled at pop time below; other FUs are not usable as vias.
+            continue;
+        }
+        let elapsed = link.latency;
+        if elapsed > budget {
+            continue;
+        }
+        let slot = state.slot(request.src_cycle + elapsed);
+        let Some(cost) = policy.hop_cost(state, link.to, slot, request.value) else {
+            continue;
+        };
+        let idx = index(link.to.0, elapsed);
+        if cost < best[idx] {
+            best[idx] = cost;
+            parent[idx] = None;
+            heap.push(QueueEntry { cost, resource: link.to.0, elapsed });
+        }
+    }
+
+    while let Some(entry) = heap.pop() {
+        let idx = index(entry.resource, entry.elapsed);
+        if entry.cost > best[idx] {
+            continue;
+        }
+        let here = ResourceId(entry.resource);
+        // Try to finish: a link into the destination FU landing exactly on the
+        // arrival cycle.
+        if let Some(link) = arch.out_links(here).find(|l| l.to == request.dst_fu) {
+            if entry.elapsed + link.latency == budget {
+                // Reconstruct the hop chain.
+                let mut hops = Vec::new();
+                let mut cursor = Some((entry.resource, entry.elapsed));
+                while let Some((r, e)) = cursor {
+                    hops.push(RouteHop {
+                        resource: ResourceId(r),
+                        cycle: request.src_cycle + e,
+                    });
+                    cursor = parent[index(r, e)];
+                }
+                hops.reverse();
+                return Some((Route { hops }, entry.cost));
+            }
+        }
+        // Expand.
+        for link in arch.out_links(here) {
+            if arch.resource(link.to).kind.is_func_unit() {
+                continue;
+            }
+            let elapsed = entry.elapsed + link.latency;
+            if elapsed > budget {
+                continue;
+            }
+            let slot = state.slot(request.src_cycle + elapsed);
+            let Some(hop_cost) = policy.hop_cost(state, link.to, slot, request.value) else {
+                continue;
+            };
+            // Zero-latency self-loops cannot exist (links are deduplicated and
+            // holds have latency 1), so progress is guaranteed; still, avoid
+            // re-visiting the same (resource, elapsed) at higher cost.
+            let cost = entry.cost + hop_cost;
+            let nidx = index(link.to.0, elapsed);
+            if cost < best[nidx] {
+                best[nidx] = cost;
+                parent[nidx] = Some((entry.resource, entry.elapsed));
+                heap.push(QueueEntry { cost, resource: link.to.0, elapsed });
+            }
+        }
+    }
+    None
+}
+
+/// Commits a route to the occupancy table.
+pub fn commit_route(state: &mut RoutingState, route: &Route, value: NodeId) {
+    for hop in &route.hops {
+        state.occupy(hop.resource, hop.cycle, value);
+    }
+}
+
+/// Removes a previously committed route from the occupancy table.
+pub fn release_route(state: &mut RoutingState, route: &Route, value: NodeId) {
+    for hop in &route.hops {
+        state.release(hop.resource, hop.cycle, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaid_arch::{plaid, spatio_temporal};
+
+    #[test]
+    fn routes_between_neighbouring_pes() {
+        let arch = spatio_temporal::build(2, 2);
+        let state = RoutingState::new(&arch, 2);
+        let fu0 = arch.clusters()[0].alus[0];
+        let fu1 = arch.clusters()[1].alus[0];
+        let request = RouteRequest {
+            src_fu: fu0,
+            src_cycle: 0,
+            dst_fu: fu1,
+            arrival_cycle: 1,
+            value: NodeId(0),
+        };
+        let (route, cost) = find_route(&arch, &state, &request, &HardCapacityCost).unwrap();
+        // fu0 -> router0 (0 cycles) -> router1 (1 cycle) -> fu1 (0 cycles).
+        assert_eq!(route.hops.len(), 2);
+        assert!(cost > 0.0);
+        assert_eq!(route.hops.last().unwrap().cycle, 1);
+    }
+
+    #[test]
+    fn same_pe_dependency_waits_in_the_register() {
+        let arch = spatio_temporal::build(2, 2);
+        let state = RoutingState::new(&arch, 4);
+        let fu0 = arch.clusters()[0].alus[0];
+        let request = RouteRequest {
+            src_fu: fu0,
+            src_cycle: 0,
+            dst_fu: fu0,
+            arrival_cycle: 3,
+            value: NodeId(0),
+        };
+        let (route, _) = find_route(&arch, &state, &request, &HardCapacityCost).unwrap();
+        // The value enters the router at cycle 0 and loops in its hold until it
+        // is consumed at cycle 3, occupying the router in cycles 0 through 3.
+        assert_eq!(route.hops.len(), 4);
+        assert!(route.hops.iter().all(|h| h.resource == arch.clusters()[0].global_router));
+    }
+
+    #[test]
+    fn arrival_before_departure_is_rejected() {
+        let arch = spatio_temporal::build(2, 2);
+        let state = RoutingState::new(&arch, 2);
+        let fu0 = arch.clusters()[0].alus[0];
+        let request = RouteRequest {
+            src_fu: fu0,
+            src_cycle: 5,
+            dst_fu: fu0,
+            arrival_cycle: 5,
+            value: NodeId(0),
+        };
+        assert!(find_route(&arch, &state, &request, &HardCapacityCost).is_none());
+    }
+
+    #[test]
+    fn congestion_blocks_hard_capacity_routing() {
+        let arch = spatio_temporal::build(2, 2);
+        let mut state = RoutingState::new(&arch, 1);
+        let fu0 = arch.clusters()[0].alus[0];
+        let fu1 = arch.clusters()[1].alus[0];
+        let router1 = arch.clusters()[1].global_router;
+        // Saturate the destination router in every slot with foreign values.
+        for v in 100..(100 + state.capacity(router1)) {
+            state.occupy(router1, 0, NodeId(v));
+        }
+        let request = RouteRequest {
+            src_fu: fu0,
+            src_cycle: 0,
+            dst_fu: fu1,
+            arrival_cycle: 1,
+            value: NodeId(0),
+        };
+        assert!(find_route(&arch, &state, &request, &HardCapacityCost).is_none());
+    }
+
+    #[test]
+    fn negotiated_cost_allows_overuse() {
+        let arch = spatio_temporal::build(2, 2);
+        let mut state = RoutingState::new(&arch, 1);
+        let fu0 = arch.clusters()[0].alus[0];
+        let fu1 = arch.clusters()[1].alus[0];
+        let router1 = arch.clusters()[1].global_router;
+        for v in 100..(100 + state.capacity(router1)) {
+            state.occupy(router1, 0, NodeId(v));
+        }
+        let request = RouteRequest {
+            src_fu: fu0,
+            src_cycle: 0,
+            dst_fu: fu1,
+            arrival_cycle: 1,
+            value: NodeId(0),
+        };
+        let policy = NegotiatedCost::new(arch.resources().len());
+        let (route, cost) = find_route(&arch, &state, &request, &policy).unwrap();
+        assert!(!route.hops.is_empty());
+        assert!(cost > 1.0);
+    }
+
+    #[test]
+    fn plaid_intra_pcu_route_uses_local_resources() {
+        let arch = plaid::build(2, 2);
+        let state = RoutingState::new(&arch, 2);
+        let cluster = &arch.clusters()[0];
+        let request = RouteRequest {
+            src_fu: cluster.alus[0],
+            src_cycle: 0,
+            dst_fu: cluster.alus[1],
+            arrival_cycle: 1,
+            value: NodeId(0),
+        };
+        let (route, _) = find_route(&arch, &state, &request, &HardCapacityCost).unwrap();
+        // Either the bypass path or the local router, but never the global
+        // mesh, carries an intra-PCU dependency with slack 1.
+        assert!(route
+            .hops
+            .iter()
+            .all(|h| arch.resource(h.resource).tile == cluster.tile));
+        assert!(route.hops.len() <= 2);
+    }
+
+    #[test]
+    fn plaid_inter_pcu_route_crosses_the_global_mesh() {
+        let arch = plaid::build(2, 2);
+        let state = RoutingState::new(&arch, 4);
+        let src = &arch.clusters()[0];
+        let dst = &arch.clusters()[3];
+        let request = RouteRequest {
+            src_fu: src.alus[0],
+            src_cycle: 0,
+            dst_fu: dst.alus[2],
+            arrival_cycle: 2,
+            value: NodeId(0),
+        };
+        let (route, _) = find_route(&arch, &state, &request, &HardCapacityCost).unwrap();
+        let crosses_global = route
+            .hops
+            .iter()
+            .filter(|h| arch.resource(h.resource).name.contains("global"))
+            .count();
+        assert!(crosses_global >= 2, "expected at least two global hops");
+    }
+
+    #[test]
+    fn route_commit_and_release_round_trip() {
+        let arch = spatio_temporal::build(2, 2);
+        let mut state = RoutingState::new(&arch, 2);
+        let fu0 = arch.clusters()[0].alus[0];
+        let fu1 = arch.clusters()[1].alus[0];
+        let request = RouteRequest {
+            src_fu: fu0,
+            src_cycle: 0,
+            dst_fu: fu1,
+            arrival_cycle: 1,
+            value: NodeId(7),
+        };
+        let (route, _) = find_route(&arch, &state, &request, &HardCapacityCost).unwrap();
+        commit_route(&mut state, &route, NodeId(7));
+        assert!(state.occupied_slots() > 0);
+        release_route(&mut state, &route, NodeId(7));
+        assert_eq!(state.occupied_slots(), 0);
+    }
+}

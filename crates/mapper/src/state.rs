@@ -1,0 +1,196 @@
+//! Modulo routing-resource occupancy (the mutable part of the MRRG).
+//!
+//! The Modulo Routing Resource Graph of Section 5.1 is the architecture's
+//! routing-resource graph extended over II cycles, with wrap-around. The
+//! static part (resources and links) lives in `plaid-arch`; this module holds
+//! the dynamic part: which value occupies which resource in which modulo slot.
+//!
+//! Two routes carrying the *same* value (the same producer node) may share a
+//! resource slot — that is exactly how a fan-out reuses wires — so occupancy
+//! is tracked per `(resource, slot, value)` with reference counts.
+
+use std::collections::HashMap;
+
+use plaid_arch::{Architecture, ResourceId};
+use plaid_dfg::NodeId;
+
+/// Per-(resource, modulo-slot) occupancy with value sharing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingState {
+    ii: u32,
+    capacities: Vec<u32>,
+    occupancy: HashMap<(u32, u32), HashMap<u32, u32>>,
+}
+
+impl RoutingState {
+    /// Creates an empty occupancy table for `arch` at initiation interval `ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is zero.
+    pub fn new(arch: &Architecture, ii: u32) -> Self {
+        assert!(ii > 0, "initiation interval must be positive");
+        RoutingState {
+            ii,
+            capacities: arch.resources().iter().map(|r| r.kind.capacity()).collect(),
+            occupancy: HashMap::new(),
+        }
+    }
+
+    /// The initiation interval this state was built for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Modulo slot of an absolute cycle.
+    pub fn slot(&self, cycle: u32) -> u32 {
+        cycle % self.ii
+    }
+
+    /// Number of distinct values occupying `(resource, slot)`.
+    pub fn usage(&self, resource: ResourceId, slot: u32) -> u32 {
+        self.occupancy
+            .get(&(resource.0, slot))
+            .map(|m| m.len() as u32)
+            .unwrap_or(0)
+    }
+
+    /// Amount by which `(resource, slot)` exceeds its capacity.
+    pub fn overuse(&self, resource: ResourceId, slot: u32) -> u32 {
+        self.usage(resource, slot)
+            .saturating_sub(self.capacities[resource.0 as usize])
+    }
+
+    /// Total overuse across all occupied slots (0 for a legal configuration).
+    pub fn total_overuse(&self) -> u32 {
+        self.occupancy
+            .keys()
+            .map(|&(r, s)| self.overuse(ResourceId(r), s))
+            .sum()
+    }
+
+    /// Whether `value` could occupy `(resource, slot)` without exceeding the
+    /// capacity (values already present occupy no additional space).
+    pub fn fits(&self, resource: ResourceId, slot: u32, value: NodeId) -> bool {
+        let cap = self.capacities[resource.0 as usize];
+        match self.occupancy.get(&(resource.0, slot)) {
+            Some(m) => m.contains_key(&value.0) || (m.len() as u32) < cap,
+            None => cap > 0,
+        }
+    }
+
+    /// Occupies `(resource, cycle mod II)` with `value`.
+    pub fn occupy(&mut self, resource: ResourceId, cycle: u32, value: NodeId) {
+        let slot = self.slot(cycle);
+        *self
+            .occupancy
+            .entry((resource.0, slot))
+            .or_default()
+            .entry(value.0)
+            .or_insert(0) += 1;
+    }
+
+    /// Releases one reference of `value` on `(resource, cycle mod II)`.
+    ///
+    /// Releasing a value that is not present is a no-op, which keeps undo
+    /// paths in the mappers simple.
+    pub fn release(&mut self, resource: ResourceId, cycle: u32, value: NodeId) {
+        let slot = self.slot(cycle);
+        if let Some(values) = self.occupancy.get_mut(&(resource.0, slot)) {
+            if let Some(count) = values.get_mut(&value.0) {
+                *count -= 1;
+                if *count == 0 {
+                    values.remove(&value.0);
+                }
+            }
+            if values.is_empty() {
+                self.occupancy.remove(&(resource.0, slot));
+            }
+        }
+    }
+
+    /// Per-resource capacity.
+    pub fn capacity(&self, resource: ResourceId) -> u32 {
+        self.capacities[resource.0 as usize]
+    }
+
+    /// Number of occupied `(resource, slot)` pairs — a cheap congestion proxy.
+    pub fn occupied_slots(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Total occupancy of all slots belonging to `resource` across the II.
+    pub fn resource_load(&self, resource: ResourceId) -> u32 {
+        (0..self.ii).map(|s| self.usage(resource, s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaid_arch::spatio_temporal;
+
+    fn state() -> RoutingState {
+        RoutingState::new(&spatio_temporal::build(2, 2), 4)
+    }
+
+    #[test]
+    fn occupy_and_release_round_trip() {
+        let mut s = state();
+        let r = ResourceId(1);
+        assert_eq!(s.usage(r, 1), 0);
+        s.occupy(r, 1, NodeId(7));
+        s.occupy(r, 5, NodeId(7)); // same slot (5 mod 4 == 1), same value
+        assert_eq!(s.usage(r, 1), 1);
+        s.release(r, 1, NodeId(7));
+        assert_eq!(s.usage(r, 1), 1, "second reference still held");
+        s.release(r, 5, NodeId(7));
+        assert_eq!(s.usage(r, 1), 0);
+    }
+
+    #[test]
+    fn same_value_shares_capacity() {
+        let mut s = state();
+        // Resource 0 is a functional unit with capacity 1.
+        let fu = ResourceId(0);
+        s.occupy(fu, 0, NodeId(3));
+        assert!(s.fits(fu, 0, NodeId(3)), "same value always fits");
+        assert!(!s.fits(fu, 0, NodeId(4)), "different value exceeds capacity");
+    }
+
+    #[test]
+    fn overuse_counts_excess_values() {
+        let mut s = state();
+        let fu = ResourceId(0);
+        s.occupy(fu, 2, NodeId(1));
+        s.occupy(fu, 2, NodeId(2));
+        s.occupy(fu, 2, NodeId(3));
+        assert_eq!(s.usage(fu, 2), 3);
+        assert_eq!(s.overuse(fu, 2), 2);
+        assert_eq!(s.total_overuse(), 2);
+    }
+
+    #[test]
+    fn release_of_absent_value_is_noop() {
+        let mut s = state();
+        s.release(ResourceId(2), 0, NodeId(9));
+        assert_eq!(s.usage(ResourceId(2), 0), 0);
+    }
+
+    #[test]
+    fn resource_load_sums_slots() {
+        let mut s = state();
+        let r = ResourceId(1);
+        s.occupy(r, 0, NodeId(1));
+        s.occupy(r, 1, NodeId(2));
+        s.occupy(r, 2, NodeId(3));
+        assert_eq!(s.resource_load(r), 3);
+        assert_eq!(s.occupied_slots(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ii_panics() {
+        let _ = RoutingState::new(&spatio_temporal::build(2, 2), 0);
+    }
+}

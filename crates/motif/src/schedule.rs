@@ -1,0 +1,191 @@
+//! Flexible motif schedule templates (Section 5.2).
+//!
+//! A schedule template assigns each node of a motif to one of the three ALUs
+//! of a PCU and to a cycle offset relative to the motif's start cycle. The
+//! paper shows that allowing "reversed" and "stretched" templates (rather
+//! than a strict left-to-right order) noticeably improves utilization of the
+//! motif compute unit (Figure 11).
+
+use crate::motif::MotifKind;
+
+/// Placement of one motif node on the PCU's ALU row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduleSlot {
+    /// Index of the node within [`crate::Motif::nodes`].
+    pub node: usize,
+    /// ALU index within the PCU (0 = leftmost, 2 = rightmost).
+    pub alu: usize,
+    /// Cycle offset relative to the motif's start cycle.
+    pub cycle: u32,
+}
+
+/// A complete schedule template for one motif.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotifSchedule {
+    /// One slot per motif node.
+    pub slots: Vec<ScheduleSlot>,
+}
+
+impl MotifSchedule {
+    fn new(slots: &[(usize, usize, u32)]) -> Self {
+        MotifSchedule {
+            slots: slots
+                .iter()
+                .map(|&(node, alu, cycle)| ScheduleSlot { node, alu, cycle })
+                .collect(),
+        }
+    }
+
+    /// Latest cycle offset used by the template.
+    pub fn span(&self) -> u32 {
+        self.slots.iter().map(|s| s.cycle).max().unwrap_or(0)
+    }
+
+    /// Slot of a given motif-node index.
+    pub fn slot_of(&self, node: usize) -> Option<ScheduleSlot> {
+        self.slots.iter().copied().find(|s| s.node == node)
+    }
+
+    /// Checks that every internal dependency of `kind` is satisfied: each
+    /// consumer is scheduled at least one cycle after its producer, and no two
+    /// nodes share an ALU in the same cycle.
+    pub fn respects_dependencies(&self, kind: MotifKind) -> bool {
+        let dep_pairs: Vec<(usize, usize)> = match kind {
+            MotifKind::FanIn => vec![(0, 2), (1, 2)],
+            MotifKind::FanOut => vec![(0, 1), (0, 2)],
+            MotifKind::Unicast => vec![(0, 1), (1, 2)],
+            MotifKind::Pair => vec![(0, 1)],
+        };
+        for (producer, consumer) in dep_pairs {
+            let (Some(p), Some(c)) = (self.slot_of(producer), self.slot_of(consumer)) else {
+                return false;
+            };
+            if c.cycle <= p.cycle {
+                return false;
+            }
+        }
+        for (i, a) in self.slots.iter().enumerate() {
+            for b in &self.slots[i + 1..] {
+                if a.alu == b.alu && a.cycle == b.cycle {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the template uses the registered ALU-to-ALU bypass path for the
+    /// internal edge `producer -> consumer` (adjacent ALUs, left to right, one
+    /// cycle apart).
+    pub fn uses_bypass(&self, producer: usize, consumer: usize) -> bool {
+        match (self.slot_of(producer), self.slot_of(consumer)) {
+            (Some(p), Some(c)) => c.alu == p.alu + 1 && c.cycle == p.cycle + 1,
+            _ => false,
+        }
+    }
+}
+
+/// Returns the schedule templates for a motif kind, in preference order
+/// (templates that finish earlier and use bypass paths come first).
+pub fn schedule_templates(kind: MotifKind) -> Vec<MotifSchedule> {
+    match kind {
+        MotifKind::FanOut => vec![
+            // Producer first, both consumers the next cycle.
+            MotifSchedule::new(&[(0, 0, 0), (1, 1, 1), (2, 2, 1)]),
+            MotifSchedule::new(&[(0, 0, 0), (1, 1, 1), (2, 2, 2)]),
+            MotifSchedule::new(&[(0, 0, 0), (1, 1, 2), (2, 2, 1)]),
+            // Reversed ALU order (producer on the rightmost ALU).
+            MotifSchedule::new(&[(0, 2, 0), (1, 1, 1), (2, 0, 1)]),
+            MotifSchedule::new(&[(0, 2, 0), (1, 1, 1), (2, 0, 2)]),
+            MotifSchedule::new(&[(0, 2, 0), (1, 1, 2), (2, 0, 1)]),
+        ],
+        MotifKind::FanIn => vec![
+            // Both producers in the same cycle, consumer the next cycle.
+            MotifSchedule::new(&[(0, 0, 0), (1, 1, 0), (2, 2, 1)]),
+            MotifSchedule::new(&[(0, 1, 0), (1, 2, 0), (2, 0, 1)]),
+            MotifSchedule::new(&[(0, 0, 0), (1, 2, 0), (2, 1, 1)]),
+            // Staggered producers.
+            MotifSchedule::new(&[(0, 0, 0), (1, 1, 1), (2, 2, 2)]),
+            MotifSchedule::new(&[(0, 2, 0), (1, 1, 1), (2, 0, 2)]),
+        ],
+        MotifKind::Unicast => vec![
+            // Left-to-right pipeline (uses both bypass paths).
+            MotifSchedule::new(&[(0, 0, 0), (1, 1, 1), (2, 2, 2)]),
+            // Reversed order (no bypass, local router carries the edges).
+            MotifSchedule::new(&[(0, 2, 0), (1, 1, 1), (2, 0, 2)]),
+            // Folded variants freeing one ALU for another motif.
+            MotifSchedule::new(&[(0, 0, 0), (1, 1, 1), (2, 0, 2)]),
+            MotifSchedule::new(&[(0, 1, 0), (1, 2, 1), (2, 1, 2)]),
+        ],
+        MotifKind::Pair => vec![
+            MotifSchedule::new(&[(0, 0, 0), (1, 1, 1)]),
+            MotifSchedule::new(&[(0, 1, 0), (1, 2, 1)]),
+            MotifSchedule::new(&[(0, 2, 0), (1, 1, 1)]),
+            MotifSchedule::new(&[(0, 0, 0), (1, 0, 1)]),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_template_respects_dependencies() {
+        for kind in [MotifKind::FanIn, MotifKind::FanOut, MotifKind::Unicast, MotifKind::Pair] {
+            let templates = schedule_templates(kind);
+            assert!(!templates.is_empty());
+            for (i, t) in templates.iter().enumerate() {
+                assert!(
+                    t.respects_dependencies(kind),
+                    "{kind:?} template {i} violates a dependency"
+                );
+                assert_eq!(t.slots.len(), kind.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_has_six_templates_like_the_paper() {
+        assert_eq!(schedule_templates(MotifKind::FanOut).len(), 6);
+    }
+
+    #[test]
+    fn templates_fit_within_three_alus() {
+        for kind in [MotifKind::FanIn, MotifKind::FanOut, MotifKind::Unicast, MotifKind::Pair] {
+            for t in schedule_templates(kind) {
+                assert!(t.slots.iter().all(|s| s.alu < 3));
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_primary_template_uses_bypass_paths() {
+        let t = &schedule_templates(MotifKind::Unicast)[0];
+        assert!(t.uses_bypass(0, 1));
+        assert!(t.uses_bypass(1, 2));
+        assert_eq!(t.span(), 2);
+    }
+
+    #[test]
+    fn reversed_unicast_does_not_use_bypass() {
+        let t = &schedule_templates(MotifKind::Unicast)[1];
+        assert!(!t.uses_bypass(0, 1));
+        assert!(!t.uses_bypass(1, 2));
+        assert!(t.respects_dependencies(MotifKind::Unicast));
+    }
+
+    #[test]
+    fn span_and_slot_queries() {
+        let t = &schedule_templates(MotifKind::FanIn)[0];
+        assert_eq!(t.span(), 1);
+        assert_eq!(t.slot_of(2).unwrap().alu, 2);
+        assert!(t.slot_of(5).is_none());
+    }
+
+    #[test]
+    fn same_alu_same_cycle_is_rejected() {
+        let bad = MotifSchedule::new(&[(0, 0, 0), (1, 0, 0), (2, 1, 1)]);
+        assert!(!bad.respects_dependencies(MotifKind::FanIn));
+    }
+}

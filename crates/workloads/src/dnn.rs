@@ -1,0 +1,118 @@
+//! The three DNN applications adapted from TinyML (Section 6.4).
+//!
+//! Each application is a sequence of layers; most layers are convolution and
+//! depth-wise convolution layers, with fully-connected layers at the end,
+//! mirroring the 10-, 13- and 16-layer networks the paper evaluates.
+//! Application-level metrics are layer-wise sums of kernel-level metrics.
+
+use plaid_dfg::kernel::Kernel;
+
+use crate::kernels;
+
+/// One layer of a DNN application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnnLayer {
+    /// Layer name, e.g. `"conv3x3_l04"`.
+    pub name: String,
+    /// Kernel implementing the layer.
+    pub kernel: Kernel,
+    /// Unroll factor used when compiling the layer.
+    pub unroll: u64,
+    /// How many times the layer's kernel invocation is repeated (channel
+    /// tiling); scales the cycle count linearly.
+    pub invocations: u64,
+}
+
+/// A DNN application: an ordered list of layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnnApplication {
+    /// Application name (`DNN1`, `DNN2`, `DNN3`).
+    pub name: String,
+    /// Layers in execution order.
+    pub layers: Vec<DnnLayer>,
+}
+
+impl DnnApplication {
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+fn layer(index: usize, kernel: Kernel, unroll: u64, invocations: u64) -> DnnLayer {
+    DnnLayer {
+        name: format!("{}_l{index:02}", kernel.name),
+        kernel,
+        unroll,
+        invocations,
+    }
+}
+
+fn build_app(name: &str, layer_count: usize) -> DnnApplication {
+    let mut layers = Vec::new();
+    for i in 0..layer_count {
+        // Alternate convolution and depth-wise convolution layers (the
+        // MobileNet-style structure TinyML uses), closing with a
+        // fully-connected classifier.
+        let l = if i + 1 == layer_count {
+            layer(i, kernels::fc(), 1, 1)
+        } else if i % 2 == 0 {
+            layer(i, kernels::conv3x3(), 1, 2)
+        } else {
+            layer(i, kernels::dwconv(), 5, 2)
+        };
+        layers.push(l);
+    }
+    DnnApplication {
+        name: name.to_string(),
+        layers,
+    }
+}
+
+/// The three evaluated DNN applications (10, 13 and 16 layers).
+pub fn dnn_applications() -> Vec<DnnApplication> {
+    vec![
+        build_app("DNN1", 10),
+        build_app("DNN2", 13),
+        build_app("DNN3", 16),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applications_have_the_papers_layer_counts() {
+        let apps = dnn_applications();
+        assert_eq!(apps.len(), 3);
+        assert_eq!(apps[0].layer_count(), 10);
+        assert_eq!(apps[1].layer_count(), 13);
+        assert_eq!(apps[2].layer_count(), 16);
+    }
+
+    #[test]
+    fn layers_are_mostly_convolutions() {
+        for app in dnn_applications() {
+            let conv_like = app
+                .layers
+                .iter()
+                .filter(|l| l.kernel.name.contains("conv"))
+                .count();
+            assert!(conv_like * 2 >= app.layer_count(), "{} not conv-dominated", app.name);
+            // Final layer is the fully-connected classifier.
+            assert_eq!(app.layers.last().unwrap().kernel.name, "fc");
+        }
+    }
+
+    #[test]
+    fn layer_kernels_validate() {
+        for app in dnn_applications() {
+            for l in &app.layers {
+                l.kernel.validate().unwrap();
+                assert!(l.invocations >= 1);
+                assert!(l.unroll >= 1);
+            }
+        }
+    }
+}

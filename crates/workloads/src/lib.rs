@@ -1,0 +1,20 @@
+//! Workload kernels used in the Plaid evaluation (Table 2) and the three DNN
+//! applications of Section 6.4.
+//!
+//! Kernels are expressed in the loop-nest IR of `plaid-dfg` and mirror the
+//! computation patterns of the paper's PolyBench linear-algebra suite, the
+//! TinyML machine-learning kernels and the PolyBench image kernels. Trip
+//! counts are kept small (the paper's scratch-pads are 4 KiB banks) so the
+//! whole evaluation runs in seconds; DFG *structure* — the number of loads,
+//! stores, compute operations, reductions and unrolled replicas — is what the
+//! mapper sees, and that is what the table reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dnn;
+pub mod kernels;
+pub mod registry;
+
+pub use dnn::{dnn_applications, DnnApplication, DnnLayer};
+pub use registry::{table2_workloads, Domain, Workload};

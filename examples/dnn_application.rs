@@ -1,0 +1,20 @@
+//! Application-level evaluation: map every layer of the three TinyML-style
+//! DNN applications onto the spatial baseline and Plaid (Figure 16).
+//!
+//! Run with `cargo run --example dnn_application`.
+
+use plaid::experiments::dnn_comparison;
+
+fn main() {
+    let (rows, text) = dnn_comparison();
+    println!("{text}");
+    for row in rows {
+        println!(
+            "{}: plaid {} cycles vs spatial {} cycles; spatial consumes {:.2}x the energy of Plaid",
+            row.application,
+            row.plaid_cycles,
+            row.spatial_cycles,
+            row.spatial_energy / row.plaid_energy
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Workspace umbrella crate.
+//!
+//! `plaid-suite` exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. The library surface simply
+//! re-exports the member crates so examples and tests can reach everything
+//! through one dependency.
+
+#![forbid(unsafe_code)]
+
+pub use plaid;
+pub use plaid_arch;
+pub use plaid_dfg;
+pub use plaid_mapper;
+pub use plaid_motif;
+pub use plaid_sim;
+pub use plaid_workloads;

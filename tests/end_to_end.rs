@@ -1,0 +1,99 @@
+//! Cross-crate integration tests: every registered workload flows through the
+//! full pipeline, and mappings are validated and functionally verified.
+
+use plaid::pipeline::{compile_workload, ArchChoice, MapperChoice};
+use plaid_dfg::interp::MemoryImage;
+use plaid_sim::engine::execute_mapping;
+use plaid_workloads::{table2_workloads, Workload};
+
+fn workload(name: &str) -> Workload {
+    table2_workloads()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("workload {name} missing from registry"))
+}
+
+#[test]
+fn every_workload_lowers_and_identifies_motifs() {
+    for w in table2_workloads() {
+        let dfg = w.lower().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        dfg.validate_structure().unwrap();
+        let hdfg = plaid_motif::identify_motifs(&dfg, &plaid_motif::IdentifyOptions::default());
+        assert!(hdfg.covered_compute_nodes() <= dfg.compute_node_count());
+        for motif in hdfg.motifs() {
+            assert!(motif.is_valid_in(&dfg), "{}: invalid motif", w.name);
+        }
+    }
+}
+
+#[test]
+fn representative_workloads_map_on_all_architectures() {
+    // One workload per domain keeps the integration test fast while touching
+    // every architecture and mapper combination used in the evaluation.
+    for name in ["atax_u2", "conv2x2", "jacobi_u2"] {
+        let w = workload(name);
+        for (arch, mapper) in [
+            (ArchChoice::SpatioTemporal4x4, MapperChoice::Sa),
+            (ArchChoice::Spatial4x4, MapperChoice::Spatial),
+            (ArchChoice::Plaid2x2, MapperChoice::Plaid),
+        ] {
+            let compiled = compile_workload(&w, arch, mapper)
+                .unwrap_or_else(|e| panic!("{name} on {arch:?}: {e}"));
+            assert!(compiled.metrics.cycles > 0);
+            if let Some(mapping) = &compiled.mapping {
+                let built = arch.build();
+                mapping.validate(&compiled.dfg, &built).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn mapped_execution_matches_reference_semantics() {
+    for name in ["dwconv", "gesumm_u2", "fc"] {
+        let w = workload(name);
+        let compiled = compile_workload(&w, ArchChoice::Plaid2x2, MapperChoice::Plaid)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let arch = ArchChoice::Plaid2x2.build();
+        let mapping = compiled.mapping.as_ref().unwrap();
+        let memory = MemoryImage::for_kernel(&w.kernel, |array, i| {
+            (array.len() as i64 * 3 + i as i64) % 19 + 1
+        });
+        let report = execute_mapping(&compiled.dfg, &arch, mapping, &memory)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.verified, "{name}: mapped execution diverged");
+        assert_eq!(report.cycles, compiled.metrics.cycles);
+    }
+}
+
+#[test]
+fn plaid_mapper_is_competitive_with_generic_mappers_on_plaid() {
+    // Figure 18's claim is about the average across the suite; individual
+    // kernels can swing either way because all three mappers are stochastic
+    // search procedures. Here we only require that the motif-aware mapper
+    // stays within a factor of two of the SA baseline on a couple of kernels;
+    // the suite-level comparison lives in the fig18_mappers bench.
+    for name in ["gemm_u2", "bicg_u2"] {
+        let w = workload(name);
+        let plaid = compile_workload(&w, ArchChoice::Plaid2x2, MapperChoice::Plaid).unwrap();
+        if let Ok(sa) = compile_workload(&w, ArchChoice::Plaid2x2, MapperChoice::Sa) {
+            assert!(
+                plaid.metrics.cycles <= sa.metrics.cycles * 2,
+                "{name}: plaid mapper much slower than SA ({} vs {})",
+                plaid.metrics.cycles,
+                sa.metrics.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn spatial_partitioning_pays_for_large_unrolled_kernels() {
+    let small = workload("atax_u2");
+    let large = workload("atax_u4");
+    let small_sp = compile_workload(&small, ArchChoice::Spatial4x4, MapperChoice::Spatial).unwrap();
+    let large_sp = compile_workload(&large, ArchChoice::Spatial4x4, MapperChoice::Spatial).unwrap();
+    let small_parts = small_sp.spatial.as_ref().unwrap().partition_count();
+    let large_parts = large_sp.spatial.as_ref().unwrap().partition_count();
+    assert!(large_parts >= small_parts);
+}

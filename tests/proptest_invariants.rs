@@ -1,0 +1,155 @@
+//! Property-based tests of the core invariants.
+
+use proptest::prelude::*;
+
+use plaid_dfg::kernel::{AffineExpr, Expr, KernelBuilder};
+use plaid_dfg::lower::{lower_kernel, LoweringOptions};
+use plaid_dfg::{Dfg, EdgeKind, Op, Operand};
+use plaid_motif::{identify_motifs, IdentifyOptions};
+
+/// Strategy: a random layered DAG of compute nodes fed by one load, with a
+/// store at the end. Layered construction guarantees acyclicity.
+fn arbitrary_dfg() -> impl Strategy<Value = Dfg> {
+    (2usize..18, any::<u64>()).prop_map(|(compute_nodes, seed)| {
+        let mut dfg = Dfg::new(format!("random_{compute_nodes}"));
+        let load = dfg.add_load("ld", "x", AffineExpr::var(0));
+        let mut previous: Vec<_> = vec![load];
+        let mut state = seed | 1;
+        let mut next = || {
+            // xorshift for reproducible pseudo-randomness inside the strategy
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let ops = [Op::Add, Op::Mul, Op::Sub, Op::Xor, Op::Min];
+        let mut all_compute = Vec::new();
+        for i in 0..compute_nodes {
+            let op = ops[(next() % ops.len() as u64) as usize];
+            let node = dfg.add_compute_node(format!("c{i}"), op);
+            let lhs = previous[(next() % previous.len() as u64) as usize];
+            dfg.add_edge(lhs, node, Operand::Lhs, EdgeKind::Data).unwrap();
+            if next() % 2 == 0 && previous.len() > 1 {
+                let rhs = previous[(next() % previous.len() as u64) as usize];
+                if dfg
+                    .add_edge(rhs, node, Operand::Rhs, EdgeKind::Data)
+                    .is_err()
+                {
+                    dfg.set_immediate(node, (next() % 64) as i64).unwrap();
+                }
+            } else {
+                dfg.set_immediate(node, (next() % 64) as i64).unwrap();
+            }
+            previous.push(node);
+            all_compute.push(node);
+        }
+        let store = dfg.add_store("st", "y", AffineExpr::var(0));
+        dfg.add_edge(*previous.last().unwrap(), store, Operand::Lhs, EdgeKind::Data)
+            .unwrap();
+        dfg
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Motif identification always yields a valid partition of compute nodes.
+    #[test]
+    fn motif_cover_is_a_valid_partition(dfg in arbitrary_dfg()) {
+        prop_assert!(dfg.validate_structure().is_ok());
+        let hdfg = identify_motifs(&dfg, &IdentifyOptions::default());
+        let mut seen = std::collections::HashSet::new();
+        for motif in hdfg.motifs() {
+            prop_assert!(motif.is_valid_in(&dfg));
+            for &node in &motif.nodes {
+                prop_assert!(dfg.node(node).is_compute());
+                prop_assert!(seen.insert(node), "node covered twice");
+            }
+        }
+        prop_assert!(hdfg.covered_compute_nodes() <= dfg.compute_node_count());
+        prop_assert_eq!(
+            hdfg.covered_compute_nodes() + hdfg.standalone_nodes().len(),
+            dfg.node_count()
+        );
+    }
+
+    /// Topological order respects every same-iteration data edge.
+    #[test]
+    fn topological_order_is_consistent(dfg in arbitrary_dfg()) {
+        let order = dfg.topological_order().unwrap();
+        let position: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for edge in dfg.edges().filter(|e| !e.kind.is_recurrence()) {
+            prop_assert!(position[&edge.src] < position[&edge.dst]);
+        }
+    }
+
+    /// Affine expressions evaluate linearly under variable substitution.
+    #[test]
+    fn affine_substitution_is_consistent(
+        coeff in -8i64..8,
+        constant in -16i64..16,
+        scale in 1i64..5,
+        shift in 0i64..5,
+        point in 0i64..10,
+    ) {
+        let expr = AffineExpr::scaled_var(0, coeff).offset(constant);
+        let substituted = expr.substitute(0, scale, shift);
+        // Evaluating the substituted expression at `point` must equal the
+        // original evaluated at `scale * point + shift`.
+        prop_assert_eq!(substituted.eval(&[point]), expr.eval(&[scale * point + shift]));
+    }
+
+    /// Kernel unrolling preserves total work: the unrolled DFG has `factor`
+    /// times as many nodes and its iteration count shrinks by `factor`.
+    #[test]
+    fn unrolling_preserves_total_work(factor in prop::sample::select(vec![1u64, 2, 4])) {
+        let kernel = KernelBuilder::new("axpy")
+            .loop_var("i", 16)
+            .array("x", 16)
+            .array("y", 16)
+            .store(
+                "y",
+                AffineExpr::var(0),
+                Expr::binary(
+                    Op::Add,
+                    Expr::binary(Op::Mul, Expr::load("x", AffineExpr::var(0)), Expr::Const(3)),
+                    Expr::load("y", AffineExpr::var(0)),
+                ),
+            )
+            .build()
+            .unwrap();
+        let base = lower_kernel(&kernel, &LoweringOptions::default()).unwrap();
+        let unrolled = lower_kernel(&kernel, &LoweringOptions::unrolled(factor)).unwrap();
+        prop_assert_eq!(unrolled.node_count() as u64, base.node_count() as u64 * factor);
+        prop_assert_eq!(unrolled.total_iterations() * factor, base.total_iterations());
+        // The operation mix is preserved (each op count scales by the factor).
+        let base_hist = base.op_histogram();
+        let unrolled_hist = unrolled.op_histogram();
+        for (op, count) in base_hist {
+            prop_assert_eq!(unrolled_hist.get(&op).copied().unwrap_or(0) as u64, count as u64 * factor);
+        }
+    }
+}
+
+/// Mapping invariants on random DFGs: any mapping the SA mapper produces
+/// passes the independent validator (FU exclusivity, timing, capacities).
+mod mapping_properties {
+    use super::*;
+    use plaid_arch::spatio_temporal;
+    use plaid_mapper::{Mapper, SaMapper};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn sa_mappings_validate(dfg in arbitrary_dfg()) {
+            let arch = spatio_temporal::build(4, 4);
+            if let Ok(mapping) = SaMapper::default().map(&dfg, &arch) {
+                prop_assert!(mapping.validate(&dfg, &arch).is_ok());
+                prop_assert!(mapping.ii >= plaid_mapper::mii(&dfg, &arch));
+                prop_assert!(mapping.fu_utilization(&arch) <= 1.0);
+            }
+        }
+    }
+}
