@@ -6,7 +6,9 @@ use crate::params::{ArchParams, HardwiredPattern};
 use crate::resource::{FuCaps, Link, Resource, ResourceId, ResourceKind};
 
 /// Broad class of CGRA execution paradigm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ArchClass {
     /// Per-cycle reconfigurable PE array (ADRES/HyCUBE style).
     SpatioTemporal,
@@ -137,7 +139,8 @@ impl Architecture {
 
     /// Manhattan distance, in tiles, between the tiles owning two resources.
     pub fn resource_distance(&self, a: ResourceId, b: ResourceId) -> u32 {
-        self.resource_position(a).manhattan(self.resource_position(b))
+        self.resource_position(a)
+            .manhattan(self.resource_position(b))
     }
 
     /// Iterator over all functional units.
@@ -216,7 +219,11 @@ impl Architecture {
             );
         }
         for r in &self.resources {
-            assert!(r.kind.capacity() > 0, "resource {} has zero capacity", r.name);
+            assert!(
+                r.kind.capacity() > 0,
+                "resource {} has zero capacity",
+                r.name
+            );
             if r.kind.is_func_unit() {
                 assert!(
                     self.out_links(r.id).next().is_some(),
@@ -239,9 +246,50 @@ impl Architecture {
                     fu
                 );
             }
-            assert!(c.tile < self.tile_positions.len(), "cluster tile out of range");
+            assert!(
+                c.tile < self.tile_positions.len(),
+                "cluster tile out of range"
+            );
         }
     }
+}
+
+/// Clones an architecture under a new name and parameters, passing every
+/// switch capacity through `scale_capacity`.
+///
+/// This is the shared mechanism behind domain specialization
+/// ([`crate::specialize`]) and communication re-provisioning
+/// ([`crate::enumerate`]): the fabric topology is preserved while the sizing
+/// knobs change. Rebuilding goes through [`ArchBuilder`] so the consistency
+/// checks re-run; resource ids are preserved because the original builder
+/// allocated them densely.
+pub fn rebuild_provisioned(
+    arch: &Architecture,
+    name: impl Into<String>,
+    params: ArchParams,
+    scale_capacity: impl Fn(u32) -> u32,
+) -> Architecture {
+    let mut b = ArchBuilder::new(name, arch.class(), params);
+    for tile in 0..arch.tile_positions.len() {
+        let _ = b.add_tile(arch.tile_position(tile));
+    }
+    for r in arch.resources() {
+        match r.kind {
+            crate::resource::ResourceKind::FuncUnit(caps) => {
+                b.add_func_unit(r.tile, r.name.clone(), caps);
+            }
+            crate::resource::ResourceKind::Switch { capacity } => {
+                b.add_switch(r.tile, r.name.clone(), scale_capacity(capacity).max(1));
+            }
+        }
+    }
+    for l in arch.links() {
+        b.link(l.from, l.to, l.latency);
+    }
+    for c in arch.clusters() {
+        b.add_cluster(c.clone());
+    }
+    b.build()
 }
 
 /// Incremental builder used by the architecture constructors in this crate.
@@ -275,16 +323,31 @@ impl ArchBuilder {
     }
 
     /// Adds a functional unit to a tile.
-    pub fn add_func_unit(&mut self, tile: usize, name: impl Into<String>, caps: FuCaps) -> ResourceId {
+    pub fn add_func_unit(
+        &mut self,
+        tile: usize,
+        name: impl Into<String>,
+        caps: FuCaps,
+    ) -> ResourceId {
         self.add_resource(tile, name, ResourceKind::FuncUnit(caps))
     }
 
     /// Adds a switch to a tile.
-    pub fn add_switch(&mut self, tile: usize, name: impl Into<String>, capacity: u32) -> ResourceId {
+    pub fn add_switch(
+        &mut self,
+        tile: usize,
+        name: impl Into<String>,
+        capacity: u32,
+    ) -> ResourceId {
         self.add_resource(tile, name, ResourceKind::Switch { capacity })
     }
 
-    fn add_resource(&mut self, tile: usize, name: impl Into<String>, kind: ResourceKind) -> ResourceId {
+    fn add_resource(
+        &mut self,
+        tile: usize,
+        name: impl Into<String>,
+        kind: ResourceKind,
+    ) -> ResourceId {
         let id = ResourceId(self.resources.len() as u32);
         self.resources.push(Resource {
             id,
@@ -346,7 +409,11 @@ mod tests {
     use crate::params::ArchParams;
 
     fn tiny_arch() -> Architecture {
-        let mut b = ArchBuilder::new("tiny", ArchClass::SpatioTemporal, ArchParams::baseline(1, 2));
+        let mut b = ArchBuilder::new(
+            "tiny",
+            ArchClass::SpatioTemporal,
+            ArchParams::baseline(1, 2),
+        );
         let t0 = b.add_tile(Position { x: 0, y: 0 });
         let t1 = b.add_tile(Position { x: 1, y: 0 });
         let fu0 = b.add_func_unit(t0, "pe0.fu", FuCaps::ALSU);

@@ -1,0 +1,337 @@
+//! Programmatic enumeration of the compute × communication provisioning
+//! space.
+//!
+//! The paper's thesis is that CGRA efficiency comes from *aligning* compute
+//! provisioning (how many functional units, how deep the spatio-temporal
+//! configuration memory) with communication provisioning (how rich the
+//! routing fabric is). This module turns that question into an enumerable
+//! grid: a [`SpaceSpec`] names the axes, [`SpaceSpec::enumerate`] yields
+//! concrete [`DesignPoint`]s, and [`DesignPoint::build`] materializes each
+//! point as an [`Architecture`] the mappers and cost model can evaluate.
+//!
+//! Three axes are exposed:
+//!
+//! * **execution class** — spatio-temporal, spatial or Plaid
+//!   ([`ArchClass`]);
+//! * **compute** — array dimensions (PE/PCU counts) and configuration-memory
+//!   depth (`config_entries`, the spatio-temporal axis that bounds the
+//!   maximum initiation interval);
+//! * **communication** — a [`CommLevel`] that scales both the structural
+//!   richness of the network (switch capacities) and its configuration cost
+//!   (router select bits in the [`ConfigBudget`]), so leaner networks are
+//!   cheaper but harder to route through.
+
+use serde::{Deserialize, Serialize};
+
+use crate::architecture::{rebuild_provisioned, ArchClass, Architecture};
+use crate::params::ArchParams;
+use crate::{plaid, spatial, spatio_temporal};
+
+/// Communication provisioning level of a design point.
+///
+/// `Aligned` is the as-published network; `Lean` halves switch capacities and
+/// router select bits (an under-provisioned network that saves power but
+/// congests); `Rich` adds ~50% on both (an over-provisioned network that
+/// routes easily but pays for selects it rarely uses — the Figure 2
+/// pathology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CommLevel {
+    /// Under-provisioned: half the switch capacity and router bits.
+    Lean,
+    /// The as-published provisioning for the class.
+    Aligned,
+    /// Over-provisioned: ~1.5× switch capacity and router bits.
+    Rich,
+}
+
+impl CommLevel {
+    /// All levels, in lean-to-rich order.
+    pub const ALL: [CommLevel; 3] = [CommLevel::Lean, CommLevel::Aligned, CommLevel::Rich];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommLevel::Lean => "lean",
+            CommLevel::Aligned => "aligned",
+            CommLevel::Rich => "rich",
+        }
+    }
+
+    /// Scales a switch capacity for this provisioning level.
+    pub fn scale_capacity(self, capacity: u32) -> u32 {
+        match self {
+            CommLevel::Lean => (capacity / 2).max(1),
+            CommLevel::Aligned => capacity,
+            CommLevel::Rich => capacity + capacity.div_ceil(2),
+        }
+    }
+
+    /// Scales a communication bit budget for this provisioning level.
+    pub fn scale_bits(self, bits: u32) -> u32 {
+        match self {
+            CommLevel::Lean => (bits / 2).max(1),
+            CommLevel::Aligned => bits,
+            CommLevel::Rich => bits + bits.div_ceil(2),
+        }
+    }
+}
+
+/// One concrete point on the provisioning grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Execution-paradigm class.
+    pub class: ArchClass,
+    /// Tile rows (PEs for the baselines, PCUs for Plaid).
+    pub rows: u32,
+    /// Tile columns.
+    pub cols: u32,
+    /// Configuration-memory depth (bounds the maximum initiation interval).
+    pub config_entries: u32,
+    /// Communication provisioning level.
+    pub comm: CommLevel,
+}
+
+impl DesignPoint {
+    /// Canonical label, e.g. `plaid-2x2/d16/aligned`. Stable across runs —
+    /// the explore cache keys include it.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}x{}/d{}/{}",
+            self.class.label(),
+            self.rows,
+            self.cols,
+            self.config_entries,
+            self.comm.label()
+        )
+    }
+
+    /// Structural parameters of this point: the class defaults re-sized by
+    /// the configuration depth and communication level.
+    pub fn params(&self) -> ArchParams {
+        let mut p = match self.class {
+            ArchClass::SpatioTemporal | ArchClass::Spatial => {
+                ArchParams::baseline(self.rows, self.cols)
+            }
+            ArchClass::Plaid => ArchParams::plaid(self.rows, self.cols),
+        };
+        p.config_entries = self.config_entries;
+        p.config.communication_bits = self.comm.scale_bits(p.config.communication_bits);
+        p
+    }
+
+    /// Number of functional units this point provisions (the compute axis).
+    pub fn compute_units(&self) -> u32 {
+        let per_tile = match self.class {
+            ArchClass::SpatioTemporal | ArchClass::Spatial => 1,
+            // Three ALUs plus the ALSU.
+            ArchClass::Plaid => plaid::ALUS_PER_PCU as u32 + 1,
+        };
+        self.rows * self.cols * per_tile
+    }
+
+    /// Materializes the point as a mapper-ready [`Architecture`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`, `cols` or `config_entries` is zero (invalid points
+    /// should be filtered before building; [`SpaceSpec::enumerate`] never
+    /// yields them).
+    pub fn build(&self) -> Architecture {
+        assert!(self.config_entries > 0, "config_entries must be non-zero");
+        let base = match self.class {
+            ArchClass::SpatioTemporal => spatio_temporal::build(self.rows, self.cols),
+            ArchClass::Spatial => spatial::build(self.rows, self.cols),
+            ArchClass::Plaid => plaid::build(self.rows, self.cols),
+        };
+        rebuild_provisioned(&base, self.label(), self.params(), |c| {
+            self.comm.scale_capacity(c)
+        })
+    }
+}
+
+/// A declarative description of a provisioning subspace: the cross product of
+/// the listed classes, dimensions, configuration depths and communication
+/// levels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSpec {
+    /// Execution classes to enumerate.
+    pub classes: Vec<ArchClass>,
+    /// Array dimensions `(rows, cols)` to enumerate for every class.
+    pub dims: Vec<(u32, u32)>,
+    /// Configuration-memory depths to enumerate.
+    pub config_entries: Vec<u32>,
+    /// Communication levels to enumerate.
+    pub comm_levels: Vec<CommLevel>,
+}
+
+impl SpaceSpec {
+    /// The default exploration grid: all three classes, arrays from 2×2 up to
+    /// 4×4, the paper's 16-entry configuration memory plus a shallower
+    /// 8-entry variant, and all three communication levels.
+    pub fn default_grid() -> Self {
+        SpaceSpec {
+            classes: vec![
+                ArchClass::SpatioTemporal,
+                ArchClass::Spatial,
+                ArchClass::Plaid,
+            ],
+            dims: vec![(2, 2), (3, 3), (4, 4)],
+            config_entries: vec![8, 16],
+            comm_levels: CommLevel::ALL.to_vec(),
+        }
+    }
+
+    /// A minimal grid used by smoke tests and benches: one dimension per
+    /// class at the published depth, all communication levels.
+    pub fn smoke_grid() -> Self {
+        SpaceSpec {
+            classes: vec![ArchClass::SpatioTemporal, ArchClass::Plaid],
+            dims: vec![(2, 2)],
+            config_entries: vec![16],
+            comm_levels: CommLevel::ALL.to_vec(),
+        }
+    }
+
+    /// Number of points the spec will enumerate (before validity filtering).
+    pub fn cardinality(&self) -> usize {
+        self.classes.len() * self.dims.len() * self.config_entries.len() * self.comm_levels.len()
+    }
+
+    /// Enumerates the grid in a deterministic order (classes, then
+    /// dimensions, then depth, then communication level), skipping invalid
+    /// points (zero-sized arrays or zero-depth configuration memories).
+    pub fn enumerate(&self) -> Vec<DesignPoint> {
+        let mut points = Vec::with_capacity(self.cardinality());
+        for &class in &self.classes {
+            for &(rows, cols) in &self.dims {
+                if rows == 0 || cols == 0 {
+                    continue;
+                }
+                for &config_entries in &self.config_entries {
+                    if config_entries == 0 {
+                        continue;
+                    }
+                    for &comm in &self.comm_levels {
+                        points.push(DesignPoint {
+                            class,
+                            rows,
+                            cols,
+                            config_entries,
+                            comm,
+                        });
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_enumerates_the_full_cross_product() {
+        let spec = SpaceSpec::default_grid();
+        let points = spec.enumerate();
+        assert_eq!(points.len(), spec.cardinality());
+        assert_eq!(points.len(), 3 * 3 * 2 * 3);
+        // Deterministic: a second enumeration is identical.
+        assert_eq!(points, spec.enumerate());
+        // All labels unique.
+        let mut labels: Vec<String> = points.iter().map(DesignPoint::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), points.len());
+    }
+
+    #[test]
+    fn invalid_points_are_skipped() {
+        let spec = SpaceSpec {
+            classes: vec![ArchClass::Plaid],
+            dims: vec![(0, 2), (2, 2)],
+            config_entries: vec![0, 16],
+            comm_levels: vec![CommLevel::Aligned],
+        };
+        let points = spec.enumerate();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].rows, 2);
+        assert_eq!(points[0].config_entries, 16);
+    }
+
+    #[test]
+    fn built_architecture_reflects_the_point() {
+        let point = DesignPoint {
+            class: ArchClass::SpatioTemporal,
+            rows: 3,
+            cols: 3,
+            config_entries: 8,
+            comm: CommLevel::Aligned,
+        };
+        let arch = point.build();
+        assert_eq!(arch.functional_units().count(), 9);
+        assert_eq!(arch.params().config_entries, 8);
+        assert_eq!(arch.params().max_ii(), 8);
+        assert_eq!(arch.name(), "spatio-temporal-3x3/d8/aligned");
+    }
+
+    #[test]
+    fn comm_levels_scale_capacity_and_bits_monotonically() {
+        let base = DesignPoint {
+            class: ArchClass::Plaid,
+            rows: 2,
+            cols: 2,
+            config_entries: 16,
+            comm: CommLevel::Aligned,
+        };
+        let lean = DesignPoint {
+            comm: CommLevel::Lean,
+            ..base
+        };
+        let rich = DesignPoint {
+            comm: CommLevel::Rich,
+            ..base
+        };
+        let bits = |p: &DesignPoint| p.params().config.communication_bits;
+        assert!(bits(&lean) < bits(&base));
+        assert!(bits(&base) < bits(&rich));
+        // Structural capacities scale the same way.
+        let total_capacity = |p: &DesignPoint| -> u32 {
+            p.build()
+                .resources()
+                .iter()
+                .map(|r| match r.kind {
+                    crate::resource::ResourceKind::Switch { capacity } => capacity,
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert!(total_capacity(&lean) < total_capacity(&base));
+        assert!(total_capacity(&base) < total_capacity(&rich));
+        // Compute provisioning is independent of the communication level.
+        assert_eq!(lean.compute_units(), rich.compute_units());
+        assert_eq!(base.compute_units(), 16);
+    }
+
+    #[test]
+    fn lean_capacity_never_reaches_zero() {
+        assert_eq!(CommLevel::Lean.scale_capacity(1), 1);
+        assert_eq!(CommLevel::Rich.scale_capacity(5), 8);
+        assert_eq!(CommLevel::Aligned.scale_capacity(7), 7);
+    }
+
+    #[test]
+    fn design_points_serialize_round_trip() {
+        let point = DesignPoint {
+            class: ArchClass::Plaid,
+            rows: 2,
+            cols: 3,
+            config_entries: 8,
+            comm: CommLevel::Rich,
+        };
+        let json = serde_json::to_string(&point).unwrap();
+        let back: DesignPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, point);
+    }
+}

@@ -21,6 +21,12 @@
 //! * [`specialize`] — domain-specialized variants (ST-ML and Plaid-ML,
 //!   Section 4.4 / 7.3).
 //!
+//! Beyond the fixed instances, [`enumerate`] exposes the provisioning space
+//! itself: [`SpaceSpec`] enumerates (class × dimensions × configuration
+//! depth × communication level) grids and [`DesignPoint::build`]
+//! materializes any point as a mapper-ready [`Architecture`] — the substrate
+//! of the `plaid-explore` design-space exploration engine.
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod architecture;
+pub mod enumerate;
 pub mod params;
 pub mod plaid;
 pub mod resource;
@@ -43,6 +50,7 @@ pub mod spatial;
 pub mod spatio_temporal;
 pub mod specialize;
 
-pub use architecture::{ArchClass, Architecture, Cluster, Position};
+pub use architecture::{rebuild_provisioned, ArchClass, Architecture, Cluster, Position};
+pub use enumerate::{CommLevel, DesignPoint, SpaceSpec};
 pub use params::{ArchParams, ConfigBudget, Domain, HardwiredPattern};
 pub use resource::{FuCaps, Link, Resource, ResourceId, ResourceKind};

@@ -5,15 +5,17 @@
 //! and the cost model in `plaid-sim` (configuration bit budgets, scratch-pad
 //! sizing, domain specialization).
 
+use serde::{Deserialize, Serialize};
+
 /// Application domain used for domain-specialized variants (Section 4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Domain {
     /// TinyML-style machine learning kernels (conv / dwconv / fc).
     MachineLearning,
 }
 
 /// Motif pattern hardwired into a specialized PCU (Plaid-ML, Section 4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum HardwiredPattern {
     /// Two producers feeding one consumer.
     FanIn,
@@ -27,7 +29,7 @@ pub enum HardwiredPattern {
 ///
 /// The split between compute and communication configuration drives the
 /// power/area breakdowns of Figure 2 and Figure 13.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConfigBudget {
     /// Operation-select bits for all functional units of the tile.
     pub compute_op_bits: u32,
@@ -80,7 +82,7 @@ impl ConfigBudget {
 }
 
 /// Structural parameters of an architecture instance.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArchParams {
     /// Tile rows (PE rows for the baselines, PCU rows for Plaid).
     pub rows: u32,
@@ -174,7 +176,10 @@ mod tests {
         // encoding bits".
         let b = ConfigBudget::plaid_pcu();
         let frac = f64::from(b.communication_bits) / f64::from(b.total_bits());
-        assert!((0.4..=0.6).contains(&frac), "router share {frac} not near half");
+        assert!(
+            (0.4..=0.6).contains(&frac),
+            "router share {frac} not near half"
+        );
     }
 
     #[test]
@@ -198,6 +203,9 @@ mod tests {
     #[test]
     fn config_memory_scales_with_entries() {
         let p = ArchParams::plaid(2, 2);
-        assert_eq!(p.config_memory_bits(), u64::from(p.fabric_config_bits()) * 16);
+        assert_eq!(
+            p.config_memory_bits(),
+            u64::from(p.fabric_config_bits()) * 16
+        );
     }
 }

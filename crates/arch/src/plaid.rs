@@ -78,7 +78,11 @@ fn build_with_plan(name: String, rows: u32, cols: u32, plan: &SpecializationPlan
             // A hardwired PCU replaces the local router by fixed connections;
             // we model this as a minimal-capacity switch (it can still carry
             // the motif's internal values, but nothing else).
-            let local_capacity = if hardwired.is_some() { 3 } else { LOCAL_ROUTER_CAPACITY };
+            let local_capacity = if hardwired.is_some() {
+                3
+            } else {
+                LOCAL_ROUTER_CAPACITY
+            };
             let local = b.add_switch(tile, format!("pcu{tile}.local"), local_capacity);
             let global = b.add_switch(tile, format!("pcu{tile}.global"), GLOBAL_ROUTER_CAPACITY);
 
@@ -158,11 +162,15 @@ mod tests {
             let local = cluster.local_router.unwrap();
             assert_eq!(
                 plaid.resource(local).kind,
-                ResourceKind::Switch { capacity: LOCAL_ROUTER_CAPACITY }
+                ResourceKind::Switch {
+                    capacity: LOCAL_ROUTER_CAPACITY
+                }
             );
             assert_eq!(
                 plaid.resource(cluster.global_router).kind,
-                ResourceKind::Switch { capacity: GLOBAL_ROUTER_CAPACITY }
+                ResourceKind::Switch {
+                    capacity: GLOBAL_ROUTER_CAPACITY
+                }
             );
         }
     }
@@ -177,9 +185,15 @@ mod tests {
         let plaid_routers = plaid
             .resources()
             .iter()
-            .filter(|r| !r.kind.is_func_unit() && r.name.contains("local") || r.name.contains("global"))
+            .filter(|r| {
+                !r.kind.is_func_unit() && (r.name.contains("local") || r.name.contains("global"))
+            })
             .count();
-        let st_routers = st.resources().iter().filter(|r| !r.kind.is_func_unit()).count();
+        let st_routers = st
+            .resources()
+            .iter()
+            .filter(|r| !r.kind.is_func_unit())
+            .count();
         assert_eq!(plaid_routers, 8);
         assert_eq!(st_routers, 16);
     }
@@ -210,7 +224,10 @@ mod tests {
             ],
         };
         let plaid_ml = build_specialized(2, 2, &plan);
-        assert_eq!(plaid_ml.params().domain, Some(crate::params::Domain::MachineLearning));
+        assert_eq!(
+            plaid_ml.params().domain,
+            Some(crate::params::Domain::MachineLearning)
+        );
         let hardwired: Vec<_> = plaid_ml.clusters().iter().map(|c| c.hardwired).collect();
         assert_eq!(hardwired.iter().filter(|h| h.is_some()).count(), 4);
         // Hardwired PCUs have a reduced local switch capacity.

@@ -18,7 +18,12 @@ use crate::spatio_temporal::build_named;
 ///
 /// Panics if `rows` or `cols` is zero.
 pub fn build(rows: u32, cols: u32) -> Architecture {
-    build_named(format!("spatial-{rows}x{cols}"), rows, cols, ArchClass::Spatial)
+    build_named(
+        format!("spatial-{rows}x{cols}"),
+        rows,
+        cols,
+        ArchClass::Spatial,
+    )
 }
 
 #[cfg(test)]

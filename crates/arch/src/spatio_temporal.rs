@@ -19,15 +19,15 @@ pub const PE_ROUTER_CAPACITY: u32 = 5;
 ///
 /// Panics if `rows` or `cols` is zero.
 pub fn build(rows: u32, cols: u32) -> Architecture {
-    build_named(format!("spatio-temporal-{rows}x{cols}"), rows, cols, ArchClass::SpatioTemporal)
+    build_named(
+        format!("spatio-temporal-{rows}x{cols}"),
+        rows,
+        cols,
+        ArchClass::SpatioTemporal,
+    )
 }
 
-pub(crate) fn build_named(
-    name: String,
-    rows: u32,
-    cols: u32,
-    class: ArchClass,
-) -> Architecture {
+pub(crate) fn build_named(name: String, rows: u32, cols: u32, class: ArchClass) -> Architecture {
     assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
     let params = ArchParams::baseline(rows, cols);
     let mut b = ArchBuilder::new(name, class, params);

@@ -75,31 +75,9 @@ fn rebuild_with_params(
     params: crate::params::ArchParams,
 ) -> Architecture {
     // Architectures are immutable by design; rebuilding goes through the
-    // builder to re-run the consistency checks.
-    use crate::architecture::ArchBuilder;
-    let mut b = ArchBuilder::new(name, arch.class(), params);
-    for tile in 0..arch.clusters().len() {
-        let _ = b.add_tile(arch.tile_position(tile));
-    }
-    // Resources and links are copied verbatim (ids are preserved because the
-    // original builder allocated them densely).
-    for r in arch.resources() {
-        match r.kind {
-            crate::resource::ResourceKind::FuncUnit(caps) => {
-                b.add_func_unit(r.tile, r.name.clone(), caps);
-            }
-            crate::resource::ResourceKind::Switch { capacity } => {
-                b.add_switch(r.tile, r.name.clone(), capacity);
-            }
-        }
-    }
-    for l in arch.links() {
-        b.link(l.from, l.to, l.latency);
-    }
-    for c in arch.clusters() {
-        b.add_cluster(c.clone());
-    }
-    b.build()
+    // shared provisioning helper (identity capacity scaling) so the
+    // consistency checks re-run.
+    crate::architecture::rebuild_provisioned(&arch, name, params, |c| c)
 }
 
 /// Convenience: returns the class label of a specialized variant for reports.
@@ -122,7 +100,10 @@ mod tests {
         let st = spatio_temporal::build(4, 4);
         let st_ml = spatio_temporal_ml(4, 4);
         assert!(st_ml.params().config.total_bits() < st.params().config.total_bits());
-        assert_eq!(st_ml.functional_units().count(), st.functional_units().count());
+        assert_eq!(
+            st_ml.functional_units().count(),
+            st.functional_units().count()
+        );
         assert_eq!(st_ml.params().domain, Some(Domain::MachineLearning));
         assert_eq!(variant_label(&st_ml), "ST-ML");
         assert_eq!(variant_label(&st), "ST");
@@ -134,15 +115,24 @@ mod tests {
         let patterns: Vec<_> = arch.clusters().iter().filter_map(|c| c.hardwired).collect();
         assert_eq!(patterns.len(), 4);
         assert_eq!(
-            patterns.iter().filter(|p| **p == HardwiredPattern::FanIn).count(),
+            patterns
+                .iter()
+                .filter(|p| **p == HardwiredPattern::FanIn)
+                .count(),
             2
         );
         assert_eq!(
-            patterns.iter().filter(|p| **p == HardwiredPattern::Unicast).count(),
+            patterns
+                .iter()
+                .filter(|p| **p == HardwiredPattern::Unicast)
+                .count(),
             1
         );
         assert_eq!(
-            patterns.iter().filter(|p| **p == HardwiredPattern::FanOut).count(),
+            patterns
+                .iter()
+                .filter(|p| **p == HardwiredPattern::FanOut)
+                .count(),
             1
         );
         assert_eq!(variant_label(&arch), "Plaid-ML");
@@ -153,7 +143,10 @@ mod tests {
         let plaid = crate::plaid::build(2, 2);
         let plaid_ml = plaid_ml_2x2();
         assert!(plaid_ml.params().config.total_bits() < plaid.params().config.total_bits());
-        assert_eq!(plaid_ml.functional_units().count(), plaid.functional_units().count());
+        assert_eq!(
+            plaid_ml.functional_units().count(),
+            plaid.functional_units().count()
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     println!("{}", experiments::power_breakdown());
 
     let mut group = c.benchmark_group("fig02_power_breakdown");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     let st = spatio_temporal::build(4, 4);
     let pl = plaid_fabric::build(2, 2);
     let model = CostModel::default();

@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fig12_performance");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let w = measurement_workload();
     group.bench_function("compile_dwconv_on_plaid", |b| {
         b.iter(|| compile_workload(&w, ArchChoice::Plaid2x2, MapperChoice::Plaid).unwrap())

@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
     println!("{}", experiments::area_breakdown());
 
     let mut group = c.benchmark_group("fig13_area_breakdown");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     let model = CostModel::default();
     let arch = plaid_fabric::build(2, 2);
     group.bench_function("area_model_plaid_2x2", |b| {

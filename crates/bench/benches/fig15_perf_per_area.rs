@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     println!("{}", result.render_perf_per_area());
 
     let mut group = c.benchmark_group("fig15_perf_per_area");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let w = measurement_workload();
     group.bench_function("compile_dwconv_on_spatio_temporal", |b| {
         b.iter(|| compile_workload(&w, ArchChoice::SpatioTemporal4x4, MapperChoice::Sa).unwrap())

@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
     println!("{text}");
 
     let mut group = c.benchmark_group("fig16_dnn_apps");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     group.bench_function("enumerate_dnn_layers", |b| {
         b.iter(|| {
             dnn_applications()

@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
     println!("{text}");
 
     let mut group = c.benchmark_group("fig17_scalability");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let w = measurement_workload();
     group.bench_function("compile_dwconv_on_plaid_3x3", |b| {
         b.iter(|| compile_workload(&w, ArchChoice::Plaid3x3, MapperChoice::Plaid).unwrap())

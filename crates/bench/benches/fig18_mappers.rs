@@ -12,12 +12,21 @@ use plaid_mapper::{Mapper, PlaidMapper, SaMapper};
 fn bench(c: &mut Criterion) {
     let (rows, text) = experiments::mapper_comparison(bench_scope());
     println!("{text}");
-    let pf = geomean(rows.iter().map(|r| r.pathfinder_cycles as f64 / r.plaid_cycles as f64));
-    let sa = geomean(rows.iter().map(|r| r.sa_cycles as f64 / r.plaid_cycles as f64));
+    let pf = geomean(
+        rows.iter()
+            .map(|r| r.pathfinder_cycles as f64 / r.plaid_cycles as f64),
+    );
+    let sa = geomean(
+        rows.iter()
+            .map(|r| r.sa_cycles as f64 / r.plaid_cycles as f64),
+    );
     println!("geomean slowdown vs Plaid mapper: PathFinder {pf:.2}x, SA {sa:.2}x (paper: 1.25x and 1.28x)\n");
 
     let mut group = c.benchmark_group("fig18_mappers");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     let dfg = plaid_bench::measurement_workload().lower().unwrap();
     let arch = plaid_arch::plaid::build(2, 2);
     group.bench_function("plaid_mapper_dwconv", |b| {

@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     println!("{text}");
 
     let mut group = c.benchmark_group("fig19_domain_specialization");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     let model = CostModel::default();
     group.bench_function("build_and_cost_plaid_ml", |b| {
         b.iter(|| {

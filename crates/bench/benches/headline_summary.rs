@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
     println!("{}", experiments::headline_summary(bench_scope()));
 
     let mut group = c.benchmark_group("headline_summary");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     let dfg = measurement_workload().lower().unwrap();
     group.bench_function("motif_identification", |b| {
         b.iter(|| identify_motifs(&dfg, &IdentifyOptions::default()))

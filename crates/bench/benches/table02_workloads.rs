@@ -8,10 +8,16 @@ use plaid::experiments::{self, ExperimentScope};
 use plaid_motif::{identify_motifs, IdentifyOptions};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::table2_characteristics(ExperimentScope::FULL));
+    println!(
+        "{}",
+        experiments::table2_characteristics(ExperimentScope::FULL)
+    );
 
     let mut group = c.benchmark_group("table02_workloads");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_secs(1));
     let dfg = plaid_bench::measurement_workload().lower().unwrap();
     group.bench_function("motif_identification_dwconv", |b| {
         b.iter(|| identify_motifs(&dfg, &IdentifyOptions::default()))

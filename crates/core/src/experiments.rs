@@ -94,13 +94,21 @@ impl ComparisonResult {
     /// Geometric-mean of Plaid cycles normalized to the spatio-temporal
     /// baseline (≈1.0 in the paper).
     pub fn plaid_vs_st_cycles(&self) -> f64 {
-        geomean(self.rows.iter().map(|r| r.plaid_cycles as f64 / r.st_cycles as f64))
+        geomean(
+            self.rows
+                .iter()
+                .map(|r| r.plaid_cycles as f64 / r.st_cycles as f64),
+        )
     }
 
     /// Geometric-mean of spatial cycles normalized to Plaid (≈1.4 in the
     /// paper).
     pub fn spatial_vs_plaid_cycles(&self) -> f64 {
-        geomean(self.rows.iter().map(|r| r.spatial_cycles as f64 / r.plaid_cycles as f64))
+        geomean(
+            self.rows
+                .iter()
+                .map(|r| r.spatial_cycles as f64 / r.plaid_cycles as f64),
+        )
     }
 
     /// Geometric-mean of Plaid energy normalized to the spatio-temporal
@@ -123,7 +131,8 @@ impl ComparisonResult {
             .map(|r| {
                 vec![
                     r.kernel.clone(),
-                    ratio(r.st_cycles as f64 / r.st_cycles as f64),
+                    // Normalization baseline: identically 1.00 by definition.
+                    ratio(1.0),
                     ratio(r.spatial_cycles as f64 / r.st_cycles as f64),
                     ratio(r.plaid_cycles as f64 / r.st_cycles as f64),
                 ]
@@ -223,14 +232,24 @@ pub fn power_breakdown() -> String {
             format!("{:.0}%", p.share(p.others) * 100.0),
         ]
     };
-    let reduction = 1.0
-        - model.fabric_power(&pl).total() / model.fabric_power(&st).total();
+    let reduction = 1.0 - model.fabric_power(&pl).total() / model.fabric_power(&st).total();
     let mut out = render_table(
         "Figure 2: fabric power distribution",
-        &["architecture", "total µW", "routers", "comm cfg", "compute cfg", "compute", "others"],
+        &[
+            "architecture",
+            "total µW",
+            "routers",
+            "comm cfg",
+            "compute cfg",
+            "compute",
+            "others",
+        ],
         &[rows(&st), rows(&pl)],
     );
-    out.push_str(&format!("Plaid power reduction vs spatio-temporal: {:.1}%\n", reduction * 100.0));
+    out.push_str(&format!(
+        "Plaid power reduction vs spatio-temporal: {:.1}%\n",
+        reduction * 100.0
+    ));
     out
 }
 
@@ -250,7 +269,15 @@ pub fn area_breakdown() -> String {
     ]];
     render_table(
         "Figure 13: Plaid fabric area breakdown",
-        &["total µm²", "local router", "global router", "cfg compute", "cfg comm", "compute", "others"],
+        &[
+            "total µm²",
+            "local router",
+            "global router",
+            "cfg compute",
+            "cfg comm",
+            "compute",
+            "others",
+        ],
         &rows,
     )
 }
@@ -363,7 +390,9 @@ pub fn scalability(scope: ExperimentScope) -> (Vec<ScalabilityRow>, String) {
         }
         let small = compile_workload(&workload, ArchChoice::Plaid2x2, MapperChoice::Plaid);
         let large = compile_workload(&workload, ArchChoice::Plaid3x3, MapperChoice::Plaid);
-        let (Ok(small), Ok(large)) = (small, large) else { continue };
+        let (Ok(small), Ok(large)) = (small, large) else {
+            continue;
+        };
         rows.push(ScalabilityRow {
             kernel: workload.name.clone(),
             plaid_2x2_cycles: small.metrics.cycles,
@@ -469,7 +498,11 @@ pub fn dnn_comparison() -> (Vec<DnnRow>, String) {
         .collect();
     let text = render_table(
         "Figure 16: spatial CGRA vs Plaid on DNN applications (normalized to Plaid)",
-        &["application", "energy (spatial/plaid)", "perf/area (spatial/plaid)"],
+        &[
+            "application",
+            "energy (spatial/plaid)",
+            "perf/area (spatial/plaid)",
+        ],
         &table_rows,
     );
     (rows, text)
@@ -518,7 +551,11 @@ pub fn domain_specialization() -> (Vec<SpecializationRow>, String) {
             arch: label.to_string(),
             cycles,
             energy_nj: energy,
-            perf_per_area: if cycles > 0 { 1.0e9 / (cycles as f64 * area) } else { 0.0 },
+            perf_per_area: if cycles > 0 {
+                1.0e9 / (cycles as f64 * area)
+            } else {
+                0.0
+            },
         });
     }
     let plaid_row = rows.iter().find(|r| r.arch == "Plaid").cloned();
@@ -526,7 +563,10 @@ pub fn domain_specialization() -> (Vec<SpecializationRow>, String) {
         .iter()
         .map(|r| {
             let (e, p) = match &plaid_row {
-                Some(base) => (r.energy_nj / base.energy_nj, r.perf_per_area / base.perf_per_area),
+                Some(base) => (
+                    r.energy_nj / base.energy_nj,
+                    r.perf_per_area / base.perf_per_area,
+                ),
                 None => (1.0, 1.0),
             };
             vec![r.arch.clone(), ratio(e), ratio(p)]
@@ -552,9 +592,21 @@ pub fn headline_summary(scope: ExperimentScope) -> String {
     let area_red_st = 1.0 - model.fabric_area(&pl).total() / model.fabric_area(&st).total();
     let area_red_sp = 1.0 - model.fabric_area(&pl).total() / model.fabric_area(&sp).total();
     let rows = vec![
-        vec!["power reduction vs spatio-temporal".into(), format!("{:.0}%", power_red * 100.0), "43%".into()],
-        vec!["area reduction vs spatio-temporal".into(), format!("{:.0}%", area_red_st * 100.0), "46%".into()],
-        vec!["area reduction vs spatial".into(), format!("{:.0}%", area_red_sp * 100.0), "48%".into()],
+        vec![
+            "power reduction vs spatio-temporal".into(),
+            format!("{:.0}%", power_red * 100.0),
+            "43%".into(),
+        ],
+        vec![
+            "area reduction vs spatio-temporal".into(),
+            format!("{:.0}%", area_red_st * 100.0),
+            "46%".into(),
+        ],
+        vec![
+            "area reduction vs spatial".into(),
+            format!("{:.0}%", area_red_sp * 100.0),
+            "48%".into(),
+        ],
         vec![
             "performance vs spatial".into(),
             format!("{:.2}x", comparison.spatial_vs_plaid_cycles()),
@@ -567,12 +619,18 @@ pub fn headline_summary(scope: ExperimentScope) -> String {
         ],
         vec![
             "energy vs spatio-temporal".into(),
-            format!("{:.0}% lower", (1.0 - comparison.plaid_vs_st_energy()) * 100.0),
+            format!(
+                "{:.0}% lower",
+                (1.0 - comparison.plaid_vs_st_energy()) * 100.0
+            ),
             "42% lower".into(),
         ],
         vec![
             "energy vs spatial".into(),
-            format!("{:.0}% lower", (1.0 - comparison.plaid_vs_spatial_energy()) * 100.0),
+            format!(
+                "{:.0}% lower",
+                (1.0 - comparison.plaid_vs_spatial_energy()) * 100.0
+            ),
             "27.7% lower".into(),
         ],
     ];

@@ -31,4 +31,7 @@ pub mod experiments;
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{compile_workload, ArchChoice, CompiledWorkload, MapperChoice, PipelineError};
+pub use pipeline::{
+    compile_workload, compile_workload_on, default_mapper_for, ArchChoice, CompileSummary,
+    CompiledWorkload, MapperChoice, PipelineError,
+};

@@ -3,10 +3,10 @@
 
 use std::fmt;
 
-use plaid_arch::{plaid, spatial, specialize, spatio_temporal, Architecture};
+use plaid_arch::{plaid, spatial, spatio_temporal, specialize, Architecture};
 use plaid_dfg::Dfg;
 use plaid_mapper::{
-    Mapper, MapError, Mapping, PathFinderMapper, PlaidMapper, SaMapper, SpatialMapper,
+    MapError, Mapper, Mapping, PathFinderMapper, PlaidMapper, SaMapper, SpatialMapper,
     SpatialSchedule,
 };
 use plaid_motif::{coverage, identify_motifs, CoverageStats, IdentifyOptions};
@@ -16,7 +16,7 @@ use plaid_sim::metrics::EvalMetrics;
 use plaid_workloads::Workload;
 
 /// Architectures evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ArchChoice {
     /// 4×4 high-performance spatio-temporal CGRA.
     SpatioTemporal4x4,
@@ -63,7 +63,7 @@ impl ArchChoice {
 }
 
 /// Mappers evaluated in the paper (Figure 18) plus the spatial partitioner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum MapperChoice {
     /// Simulated-annealing baseline.
     Sa,
@@ -146,6 +146,28 @@ impl CompiledWorkload {
     pub fn ii(&self) -> u32 {
         self.metrics.ii
     }
+
+    /// The serializable summary of this compilation (everything a sweep
+    /// needs to keep; drops the DFG, mapping and configuration image).
+    pub fn summary(&self) -> CompileSummary {
+        CompileSummary {
+            name: self.name.clone(),
+            coverage: self.coverage.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+/// Serializable result of one pipeline run: what design-space sweeps persist
+/// per (workload × architecture × mapper) point.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CompileSummary {
+    /// Workload name.
+    pub name: String,
+    /// Motif coverage statistics (Table 2 columns).
+    pub coverage: CoverageStats,
+    /// Evaluation metrics (cycles, power, energy, area).
+    pub metrics: EvalMetrics,
 }
 
 /// Compiles `workload` for `arch_choice` with `mapper_choice` and evaluates it
@@ -160,7 +182,26 @@ pub fn compile_workload(
     arch_choice: ArchChoice,
     mapper_choice: MapperChoice,
 ) -> Result<CompiledWorkload, PipelineError> {
-    let arch = arch_choice.build();
+    compile_workload_on(workload, &arch_choice.build(), mapper_choice)
+}
+
+/// Compiles `workload` onto an arbitrary architecture instance — the entry
+/// point design-space sweeps use for architectures outside the paper's fixed
+/// [`ArchChoice`] set (e.g. points enumerated by
+/// [`plaid_arch::enumerate::SpaceSpec`]).
+///
+/// Takes only `&` references to plain data and allocates everything it needs
+/// per call, so it is safe to invoke concurrently from many threads.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if lowering, mapping or configuration
+/// generation fails.
+pub fn compile_workload_on(
+    workload: &Workload,
+    arch: &Architecture,
+    mapper_choice: MapperChoice,
+) -> Result<CompiledWorkload, PipelineError> {
     let model = CostModel::default();
     let dfg = workload.lower()?;
     let hdfg = identify_motifs(&dfg, &IdentifyOptions::default());
@@ -169,14 +210,14 @@ pub fn compile_workload(
 
     if mapper_choice == MapperChoice::Spatial {
         let schedule = SpatialMapper::default()
-            .map_spatial(&dfg, &arch)
+            .map_spatial(&dfg, arch)
             .map_err(PipelineError::Mapping)?;
         let cycles = schedule.total_cycles(iterations);
         let ii = schedule.partitions.iter().map(|p| p.ii).max().unwrap_or(1);
         let metrics = EvalMetrics::from_cycles(
             workload.name.clone(),
             mapper_choice.label(),
-            &arch,
+            arch,
             &model,
             ii,
             cycles,
@@ -198,13 +239,13 @@ pub fn compile_workload(
         MapperChoice::Plaid => Box::new(PlaidMapper::default()),
         MapperChoice::Spatial => unreachable!("handled above"),
     };
-    let mapping = mapper.map(&dfg, &arch)?;
-    let config = generate_config(&dfg, &arch, &mapping).map_err(PipelineError::Config)?;
+    let mapping = mapper.map(&dfg, arch)?;
+    let config = generate_config(&dfg, arch, &mapping).map_err(PipelineError::Config)?;
     let cycles = mapping.total_cycles(iterations);
     let metrics = EvalMetrics::from_cycles(
         workload.name.clone(),
         mapper_choice.label(),
-        &arch,
+        arch,
         &model,
         mapping.ii,
         cycles,
@@ -276,9 +317,18 @@ mod tests {
 
     #[test]
     fn default_mappers_match_architectures() {
-        assert_eq!(default_mapper_for(ArchChoice::Plaid2x2), MapperChoice::Plaid);
-        assert_eq!(default_mapper_for(ArchChoice::Spatial4x4), MapperChoice::Spatial);
-        assert_eq!(default_mapper_for(ArchChoice::SpatioTemporal4x4), MapperChoice::Sa);
+        assert_eq!(
+            default_mapper_for(ArchChoice::Plaid2x2),
+            MapperChoice::Plaid
+        );
+        assert_eq!(
+            default_mapper_for(ArchChoice::Spatial4x4),
+            MapperChoice::Spatial
+        );
+        assert_eq!(
+            default_mapper_for(ArchChoice::SpatioTemporal4x4),
+            MapperChoice::Sa
+        );
     }
 
     #[test]

@@ -1,5 +1,36 @@
 //! Plain-text table rendering for experiment results.
 
+use serde::{Deserialize, Serialize};
+
+/// A rendered-result table in structured form: what the experiment runners
+/// produce before formatting, and what sweep tooling serializes to JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Builds a table from borrowed headers.
+    pub fn new(title: impl Into<String>, header: &[&str], rows: Vec<Vec<String>>) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let header: Vec<&str> = self.header.iter().map(String::as_str).collect();
+        render_table(&self.title, &header, &self.rows)
+    }
+}
+
 /// Renders a table with a header row and aligned columns.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
@@ -17,7 +48,13 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:<width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };

@@ -44,7 +44,10 @@ impl fmt::Display for DfgError {
             DfgError::UnknownNode(id) => write!(f, "unknown node id {id}"),
             DfgError::UnknownEdge(id) => write!(f, "unknown edge id {id}"),
             DfgError::OperandConflict { node, operand } => {
-                write!(f, "operand {operand} of node {node} is driven more than once")
+                write!(
+                    f,
+                    "operand {operand} of node {node} is driven more than once"
+                )
             }
             DfgError::MissingOperand { node, operand } => {
                 write!(f, "operand {operand} of node {node} is not driven")

@@ -219,12 +219,20 @@ impl Dfg {
     /// Panics if `op` is a memory operation; use [`Dfg::add_load`] or
     /// [`Dfg::add_store`] for those.
     pub fn add_compute_node(&mut self, name: impl Into<String>, op: Op) -> NodeId {
-        assert!(op.is_compute(), "use add_load/add_store for memory operations");
+        assert!(
+            op.is_compute(),
+            "use add_load/add_store for memory operations"
+        );
         self.add_node(name, op)
     }
 
     /// Adds a load node reading `array[index]`.
-    pub fn add_load(&mut self, name: impl Into<String>, array: impl Into<String>, index: AffineExpr) -> NodeId {
+    pub fn add_load(
+        &mut self,
+        name: impl Into<String>,
+        array: impl Into<String>,
+        index: AffineExpr,
+    ) -> NodeId {
         let id = self.add_node(name, Op::Load);
         self.nodes[id.0 as usize].access = Some(MemAccess {
             array: array.into(),
@@ -234,7 +242,12 @@ impl Dfg {
     }
 
     /// Adds a store node writing `array[index]`.
-    pub fn add_store(&mut self, name: impl Into<String>, array: impl Into<String>, index: AffineExpr) -> NodeId {
+    pub fn add_store(
+        &mut self,
+        name: impl Into<String>,
+        array: impl Into<String>,
+        index: AffineExpr,
+    ) -> NodeId {
         let id = self.add_node(name, Op::Store);
         self.nodes[id.0 as usize].access = Some(MemAccess {
             array: array.into(),
@@ -295,7 +308,10 @@ impl Dfg {
             if arity == 1 && operand == Operand::Rhs {
                 return Err(DfgError::InvalidOperand {
                     node: dst.0,
-                    reason: format!("operation {} is unary; only the lhs operand exists", dst_node.op),
+                    reason: format!(
+                        "operation {} is unary; only the lhs operand exists",
+                        dst_node.op
+                    ),
                 });
             }
             if kind == EdgeKind::Data
@@ -622,7 +638,9 @@ mod tests {
         let b = dfg.add_compute_node("b", Op::Not);
         let c = dfg.add_compute_node("c", Op::Not);
         dfg.add_edge(a, c, Operand::Lhs, EdgeKind::Data).unwrap();
-        let err = dfg.add_edge(b, c, Operand::Lhs, EdgeKind::Data).unwrap_err();
+        let err = dfg
+            .add_edge(b, c, Operand::Lhs, EdgeKind::Data)
+            .unwrap_err();
         assert!(matches!(err, DfgError::OperandConflict { .. }));
     }
 
@@ -631,7 +649,9 @@ mod tests {
         let mut dfg = Dfg::new("unary");
         let a = dfg.add_compute_node("a", Op::Not);
         let b = dfg.add_compute_node("b", Op::Not);
-        let err = dfg.add_edge(a, b, Operand::Rhs, EdgeKind::Data).unwrap_err();
+        let err = dfg
+            .add_edge(a, b, Operand::Rhs, EdgeKind::Data)
+            .unwrap_err();
         assert!(matches!(err, DfgError::InvalidOperand { .. }));
     }
 
@@ -708,8 +728,14 @@ mod tests {
         let (mut dfg, ..) = diamond();
         assert_eq!(dfg.total_iterations(), 1);
         dfg.set_iteration_space(vec![
-            IterationDim { name: "i".into(), trip_count: 4 },
-            IterationDim { name: "j".into(), trip_count: 8 },
+            IterationDim {
+                name: "i".into(),
+                trip_count: 4,
+            },
+            IterationDim {
+                name: "j".into(),
+                trip_count: 8,
+            },
         ]);
         assert_eq!(dfg.total_iterations(), 32);
     }

@@ -78,7 +78,10 @@ impl MemoryImage {
     /// Writes `array[index] = value` (wrapping). Writes to unknown arrays
     /// allocate a single-element array so kernels never fail on stores.
     pub fn write(&mut self, array: &str, index: i64, value: i64) {
-        let data = self.arrays.entry(array.to_string()).or_insert_with(|| vec![0]);
+        let data = self
+            .arrays
+            .entry(array.to_string())
+            .or_insert_with(|| vec![0]);
         if data.is_empty() {
             data.push(0);
         }
@@ -108,11 +111,20 @@ pub fn run_kernel(kernel: &Kernel, memory: &mut MemoryImage) -> Result<(), DfgEr
                     let v = eval_expr(value, &indices, &scalars, memory)?;
                     scalars.insert(name.as_str(), v);
                 }
-                Stmt::Store { array, index, value } => {
+                Stmt::Store {
+                    array,
+                    index,
+                    value,
+                } => {
                     let v = eval_expr(value, &indices, &scalars, memory)?;
                     memory.write(array, index.eval(&indices), wrap16(v));
                 }
-                Stmt::Accumulate { array, index, op, value } => {
+                Stmt::Accumulate {
+                    array,
+                    index,
+                    op,
+                    value,
+                } => {
                     let addr = index.eval(&indices);
                     let old = memory.read(array, addr);
                     let v = eval_expr(value, &indices, &scalars, memory)?;
@@ -218,14 +230,15 @@ pub fn run_dfg(dfg: &Dfg, memory: &mut MemoryImage) -> Result<(), DfgError> {
                 }
                 op => {
                     let has_inputs = dfg.in_edges(id).next().is_some();
-                    if !has_inputs && node.immediate.is_some() {
-                        wrap16(node.immediate.unwrap())
+                    if let (false, Some(imm)) = (has_inputs, node.immediate) {
+                        wrap16(imm)
                     } else {
-                        let lhs = operand_value(dfg, id, Operand::Lhs, &values, &pipelines)
-                            .ok_or(DfgError::MissingOperand {
+                        let lhs = operand_value(dfg, id, Operand::Lhs, &values, &pipelines).ok_or(
+                            DfgError::MissingOperand {
                                 node: id.0,
                                 operand: "lhs",
-                            })?;
+                            },
+                        )?;
                         let rhs = if op.arity() == 2 {
                             operand_value(dfg, id, Operand::Rhs, &values, &pipelines)
                                 .or(node.immediate)

@@ -48,6 +48,9 @@ impl AffineExpr {
     }
 
     /// Adds another affine expression to this one.
+    // Not `std::ops::Add`: the by-reference `other` and builder-style `self`
+    // intentionally differ from the trait's signature.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, other: &AffineExpr) -> Self {
         for &(v, c) in &other.coeffs {
             self.add_term(v, c);
@@ -207,7 +210,9 @@ impl Expr {
                 }
             }
             Expr::Const(c) => Expr::Const(*c),
-            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(a.substitute_var(var, scale, shift, suffix))),
+            Expr::Unary(op, a) => {
+                Expr::Unary(*op, Box::new(a.substitute_var(var, scale, shift, suffix)))
+            }
             Expr::Binary(op, a, b) => Expr::Binary(
                 *op,
                 Box::new(a.substitute_var(var, scale, shift, suffix)),
@@ -258,12 +263,21 @@ impl Stmt {
                 name: format!("{name}{suffix}"),
                 value: value.substitute_var(var, scale, shift, suffix),
             },
-            Stmt::Store { array, index, value } => Stmt::Store {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => Stmt::Store {
                 array: array.clone(),
                 index: index.substitute(var, scale, shift),
                 value: value.substitute_var(var, scale, shift, suffix),
             },
-            Stmt::Accumulate { array, index, op, value } => Stmt::Accumulate {
+            Stmt::Accumulate {
+                array,
+                index,
+                op,
+                value,
+            } => Stmt::Accumulate {
                 array: array.clone(),
                 index: index.substitute(var, scale, shift),
                 op: *op,
@@ -294,7 +308,11 @@ impl Kernel {
 
     /// Total number of innermost-body executions.
     pub fn total_iterations(&self) -> u64 {
-        self.loops.iter().map(|l| l.trip_count.max(1)).product::<u64>().max(1)
+        self.loops
+            .iter()
+            .map(|l| l.trip_count.max(1))
+            .product::<u64>()
+            .max(1)
     }
 
     /// Looks up an array declaration by name.
@@ -329,10 +347,17 @@ impl Kernel {
                     defined.insert(name.clone());
                     (result, None, None)
                 }
-                Stmt::Store { array, index, value } => {
-                    (self.check_expr(value, &defined), Some(array), Some(index))
-                }
-                Stmt::Accumulate { array, index, value, op } => {
+                Stmt::Store {
+                    array,
+                    index,
+                    value,
+                } => (self.check_expr(value, &defined), Some(array), Some(index)),
+                Stmt::Accumulate {
+                    array,
+                    index,
+                    value,
+                    op,
+                } => {
                     if op.arity() != 2 {
                         return Err(DfgError::InvalidKernel(format!(
                             "accumulate op {op} must be binary"
@@ -420,14 +445,16 @@ impl Kernel {
     /// divide the innermost trip count.
     pub fn unroll_innermost(&self, factor: u64) -> Result<Kernel, DfgError> {
         if factor == 0 {
-            return Err(DfgError::InvalidKernel("unroll factor must be non-zero".into()));
+            return Err(DfgError::InvalidKernel(
+                "unroll factor must be non-zero".into(),
+            ));
         }
         if factor == 1 {
             return Ok(self.clone());
         }
         let inner = self.innermost();
         let trip = self.loops[inner].trip_count;
-        if trip % factor != 0 {
+        if !trip.is_multiple_of(factor) {
             return Err(DfgError::InvalidKernel(format!(
                 "unroll factor {factor} does not divide trip count {trip}"
             )));

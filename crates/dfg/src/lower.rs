@@ -76,8 +76,12 @@ pub fn lower_kernel(kernel: &Kernel, options: &LoweringOptions) -> Result<Dfg, D
     let acc_loads = std::mem::take(&mut ctx.acc_loads);
     for (array, load) in acc_loads {
         if let Some(&store) = ctx.last_store.get(&array) {
-            ctx.dfg
-                .add_edge(store, load, Operand::Lhs, EdgeKind::Recurrence { distance: 1 })?;
+            ctx.dfg.add_edge(
+                store,
+                load,
+                Operand::Lhs,
+                EdgeKind::Recurrence { distance: 1 },
+            )?;
         }
     }
     ctx.dfg.set_iteration_space(
@@ -121,19 +125,26 @@ impl LoweringContext<'_> {
                 self.scalars.insert(name.clone(), node);
                 Ok(())
             }
-            Stmt::Store { array, index, value } => {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
                 let value_node = self.lower_expr(value)?;
-                let store = self.dfg.add_store(
-                    format!("st_{array}"),
-                    array.clone(),
-                    index.clone(),
-                );
+                let store = self
+                    .dfg
+                    .add_store(format!("st_{array}"), array.clone(), index.clone());
                 self.dfg
                     .add_edge(value_node, store, Operand::Lhs, EdgeKind::Data)?;
                 self.record_store(array, index, value_node, store);
                 Ok(())
             }
-            Stmt::Accumulate { array, index, op, value } => {
+            Stmt::Accumulate {
+                array,
+                index,
+                op,
+                value,
+            } => {
                 // out[idx] = out[idx] <op> value, carried through memory.
                 // If an earlier statement in this body already stored to the
                 // same location, forward its value instead of re-loading it.
@@ -141,11 +152,9 @@ impl LoweringContext<'_> {
                 let old_value = if let Some(&fwd) = self.forwarded.get(&signature) {
                     fwd
                 } else {
-                    let load = self.dfg.add_load(
-                        format!("ld_{array}_acc"),
-                        array.clone(),
-                        index.clone(),
-                    );
+                    let load =
+                        self.dfg
+                            .add_load(format!("ld_{array}_acc"), array.clone(), index.clone());
                     // If the body already stored to this array (at a possibly
                     // aliasing address), order the load after that store.
                     if let Some(&prev_store) = self.last_store.get(array.as_str()) {
@@ -161,12 +170,11 @@ impl LoweringContext<'_> {
                     .add_edge(old_value, combine, Operand::Lhs, EdgeKind::Data)?;
                 self.dfg
                     .add_edge(value_node, combine, Operand::Rhs, EdgeKind::Data)?;
-                let store = self.dfg.add_store(
-                    format!("st_{array}_acc"),
-                    array.clone(),
-                    index.clone(),
-                );
-                self.dfg.add_edge(combine, store, Operand::Lhs, EdgeKind::Data)?;
+                let store =
+                    self.dfg
+                        .add_store(format!("st_{array}_acc"), array.clone(), index.clone());
+                self.dfg
+                    .add_edge(combine, store, Operand::Lhs, EdgeKind::Data)?;
                 self.record_store(array, index, combine, store);
                 Ok(())
             }
@@ -222,11 +230,9 @@ impl LoweringContext<'_> {
                 }
                 Ok(node)
             }
-            Expr::Scalar(name) => self
-                .scalars
-                .get(name)
-                .copied()
-                .ok_or_else(|| DfgError::InvalidKernel(format!("scalar {name} used before definition"))),
+            Expr::Scalar(name) => self.scalars.get(name).copied().ok_or_else(|| {
+                DfgError::InvalidKernel(format!("scalar {name} used before definition"))
+            }),
             Expr::Index(var) => {
                 let loop_name = &self.kernel.loops[*var].name;
                 let array = format!("{ITERATOR_ARRAY_PREFIX}{loop_name}");
@@ -257,7 +263,8 @@ impl LoweringContext<'_> {
             Expr::Unary(op, a) => {
                 let a_node = self.lower_expr(a)?;
                 let node = self.dfg.add_compute_node(op.mnemonic().to_string(), *op);
-                self.dfg.add_edge(a_node, node, Operand::Lhs, EdgeKind::Data)?;
+                self.dfg
+                    .add_edge(a_node, node, Operand::Lhs, EdgeKind::Data)?;
                 Ok(node)
             }
             Expr::Binary(op, a, b) => {
@@ -266,7 +273,8 @@ impl LoweringContext<'_> {
                 if let Expr::Const(value) = **b {
                     let a_node = self.lower_expr(a)?;
                     let node = self.dfg.add_compute_node(op.mnemonic().to_string(), *op);
-                    self.dfg.add_edge(a_node, node, Operand::Lhs, EdgeKind::Data)?;
+                    self.dfg
+                        .add_edge(a_node, node, Operand::Lhs, EdgeKind::Data)?;
                     self.dfg.set_immediate(node, value)?;
                     return Ok(node);
                 }
@@ -274,7 +282,8 @@ impl LoweringContext<'_> {
                     if op.is_commutative() {
                         let b_node = self.lower_expr(b)?;
                         let node = self.dfg.add_compute_node(op.mnemonic().to_string(), *op);
-                        self.dfg.add_edge(b_node, node, Operand::Lhs, EdgeKind::Data)?;
+                        self.dfg
+                            .add_edge(b_node, node, Operand::Lhs, EdgeKind::Data)?;
                         self.dfg.set_immediate(node, value)?;
                         return Ok(node);
                     }
@@ -282,8 +291,10 @@ impl LoweringContext<'_> {
                 let a_node = self.lower_expr(a)?;
                 let b_node = self.lower_expr(b)?;
                 let node = self.dfg.add_compute_node(op.mnemonic().to_string(), *op);
-                self.dfg.add_edge(a_node, node, Operand::Lhs, EdgeKind::Data)?;
-                self.dfg.add_edge(b_node, node, Operand::Rhs, EdgeKind::Data)?;
+                self.dfg
+                    .add_edge(a_node, node, Operand::Lhs, EdgeKind::Data)?;
+                self.dfg
+                    .add_edge(b_node, node, Operand::Rhs, EdgeKind::Data)?;
                 Ok(node)
             }
         }
@@ -410,16 +421,16 @@ mod tests {
         let kernel = KernelBuilder::new("rmw")
             .loop_var("i", 4)
             .array("x", 4)
-            .store("x", AffineExpr::var(0), Expr::binary(
-                Op::Add,
-                Expr::load("x", AffineExpr::var(0)),
-                Expr::Const(1),
-            ))
-            .store("x", AffineExpr::var(0), Expr::binary(
-                Op::Add,
-                Expr::load("x", AffineExpr::var(0)),
-                Expr::Const(1),
-            ))
+            .store(
+                "x",
+                AffineExpr::var(0),
+                Expr::binary(Op::Add, Expr::load("x", AffineExpr::var(0)), Expr::Const(1)),
+            )
+            .store(
+                "x",
+                AffineExpr::var(0),
+                Expr::binary(Op::Add, Expr::load("x", AffineExpr::var(0)), Expr::Const(1)),
+            )
             .build()
             .unwrap();
         let dfg = lower_kernel(&kernel, &LoweringOptions::default()).unwrap();
@@ -437,16 +448,20 @@ mod tests {
             .loop_var("i", 4)
             .array("x", 8)
             .array("y", 4)
-            .store("x", AffineExpr::var(0), Expr::binary(
-                Op::Add,
-                Expr::load("x", AffineExpr::var(0)),
-                Expr::Const(1),
-            ))
-            .store("y", AffineExpr::var(0), Expr::binary(
-                Op::Mul,
-                Expr::load("x", AffineExpr::var(0).offset(1)),
-                Expr::Const(2),
-            ))
+            .store(
+                "x",
+                AffineExpr::var(0),
+                Expr::binary(Op::Add, Expr::load("x", AffineExpr::var(0)), Expr::Const(1)),
+            )
+            .store(
+                "y",
+                AffineExpr::var(0),
+                Expr::binary(
+                    Op::Mul,
+                    Expr::load("x", AffineExpr::var(0).offset(1)),
+                    Expr::Const(2),
+                ),
+            )
             .build()
             .unwrap();
         let dfg = lower_kernel(&kernel, &LoweringOptions::default()).unwrap();
@@ -483,9 +498,10 @@ mod tests {
             .build()
             .unwrap();
         let dfg = lower_kernel(&kernel, &LoweringOptions::default()).unwrap();
-        assert!(dfg
-            .memory_nodes()
-            .any(|n| n.access.as_ref().is_some_and(|a| is_iterator_array(&a.array))));
+        assert!(dfg.memory_nodes().any(|n| n
+            .access
+            .as_ref()
+            .is_some_and(|a| is_iterator_array(&a.array))));
     }
 
     #[test]
@@ -495,7 +511,10 @@ mod tests {
             .array("x", 4)
             .array("y", 4)
             .array("z", 4)
-            .let_scalar("t", Expr::binary(Op::Add, Expr::load("x", AffineExpr::var(0)), Expr::Const(1)))
+            .let_scalar(
+                "t",
+                Expr::binary(Op::Add, Expr::load("x", AffineExpr::var(0)), Expr::Const(1)),
+            )
             .store("y", AffineExpr::var(0), Expr::Scalar("t".into()))
             .store("z", AffineExpr::var(0), Expr::Scalar("t".into()))
             .build()

@@ -1,0 +1,253 @@
+//! `plaid-dse` — parallel design-space exploration from the command line.
+//!
+//! Sweeps (workload × architecture × mapper) points across the provisioning
+//! grid, memoizes every evaluation in a content-addressed cache, and emits
+//! the per-workload Pareto frontier over {cycles, area, energy} as JSON.
+//!
+//! By default the sweep runs twice — a cold pass and a warm pass — so the
+//! cache behaviour is visible in one invocation: the second pass reports a
+//! 100% hit rate and a correspondingly lower wall time.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use plaid_arch::{ArchClass, CommLevel, SpaceSpec};
+use plaid_explore::{run_sweep, FrontierReport, ResultCache, SweepPlan};
+use plaid_workloads::{table2_workloads, Workload};
+
+struct Options {
+    grid: SpaceSpec,
+    workloads: Vec<Workload>,
+    passes: u32,
+    cache_path: Option<PathBuf>,
+    out_path: Option<PathBuf>,
+    frontier_path: Option<PathBuf>,
+    quiet: bool,
+}
+
+const USAGE: &str = "\
+plaid-dse — parallel design-space exploration over CGRA provisioning points
+
+USAGE:
+    plaid-dse [OPTIONS]
+
+OPTIONS:
+    --grid <default|smoke|full>   Architecture grid to enumerate [default: default]
+    --workloads <SPEC>            Comma-separated workload names, 'all', or
+                                  'repN' for every Nth registry workload
+                                  [default: rep8 — 4 workloads spanning domains]
+    --passes <N>                  Sweep passes over the same plan [default: 2,
+                                  demonstrating cold vs. cached performance]
+    --cache <FILE>                Load/save the content-addressed result cache
+    --out <FILE>                  Write all sweep records as JSON
+    --frontier <FILE>             Write the Pareto frontier as JSON
+                                  [default: dse_frontier.json]
+    --no-frontier-file            Skip writing the frontier JSON file
+    --list                        Print the plan (workloads × grid) and exit
+    --quiet                       Suppress the frontier table on stdout
+    -h, --help                    Show this help
+";
+
+fn parse_grid(name: &str) -> Result<SpaceSpec, String> {
+    match name {
+        "default" => Ok(SpaceSpec::default_grid()),
+        "smoke" => Ok(SpaceSpec::smoke_grid()),
+        "full" => Ok(SpaceSpec {
+            classes: vec![
+                ArchClass::SpatioTemporal,
+                ArchClass::Spatial,
+                ArchClass::Plaid,
+            ],
+            dims: vec![(2, 2), (2, 4), (3, 3), (4, 4), (3, 5), (4, 6), (6, 6)],
+            config_entries: vec![4, 8, 16, 32],
+            comm_levels: CommLevel::ALL.to_vec(),
+        }),
+        other => Err(format!("unknown grid `{other}` (default|smoke|full)")),
+    }
+}
+
+fn parse_workloads(spec: &str) -> Result<Vec<Workload>, String> {
+    let registry = table2_workloads();
+    if spec == "all" {
+        return Ok(registry);
+    }
+    if let Some(stride) = spec.strip_prefix("rep") {
+        let n: usize = stride
+            .parse()
+            .map_err(|_| format!("bad stride in `{spec}`"))?;
+        if n == 0 {
+            return Err("stride must be positive".into());
+        }
+        return Ok(registry.into_iter().step_by(n).collect());
+    }
+    spec.split(',')
+        .map(|name| {
+            registry
+                .iter()
+                .find(|w| w.name == name)
+                .cloned()
+                .ok_or_else(|| format!("unknown workload `{name}` (try --list)"))
+        })
+        .collect()
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut grid = SpaceSpec::default_grid();
+    let mut workloads = parse_workloads("rep8").expect("default workload spec is valid");
+    let mut passes = 2u32;
+    let mut cache_path = None;
+    let mut out_path = None;
+    let mut frontier_path = Some(PathBuf::from("dse_frontier.json"));
+    let mut quiet = false;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--grid" => grid = parse_grid(&value("--grid")?)?,
+            "--workloads" => workloads = parse_workloads(&value("--workloads")?)?,
+            "--passes" => {
+                passes = value("--passes")?
+                    .parse()
+                    .map_err(|_| "bad --passes value".to_string())?;
+                if passes == 0 {
+                    return Err("--passes must be at least 1".into());
+                }
+            }
+            "--cache" => cache_path = Some(PathBuf::from(value("--cache")?)),
+            "--out" => out_path = Some(PathBuf::from(value("--out")?)),
+            "--frontier" => frontier_path = Some(PathBuf::from(value("--frontier")?)),
+            "--no-frontier-file" => frontier_path = None,
+            "--list" => list = true,
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown option `{other}` (see --help)")),
+        }
+    }
+
+    let options = Options {
+        grid,
+        workloads,
+        passes,
+        cache_path,
+        out_path,
+        frontier_path,
+        quiet,
+    };
+    if list {
+        let designs = options.grid.enumerate();
+        println!("workloads ({}):", options.workloads.len());
+        for w in &options.workloads {
+            println!("  {}", w.name);
+        }
+        println!("architecture points ({}):", designs.len());
+        for d in &designs {
+            println!("  {}", d.label());
+        }
+        println!(
+            "plan: {} x {} = {} sweep points",
+            options.workloads.len(),
+            designs.len(),
+            options.workloads.len() * designs.len()
+        );
+        return Ok(None);
+    }
+    Ok(Some(options))
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let cache = match &options.cache_path {
+        Some(path) => ResultCache::load(path)
+            .map_err(|e| format!("cannot load cache {}: {e}", path.display()))?,
+        None => ResultCache::new(),
+    };
+    if let Some(path) = &options.cache_path {
+        if !cache.is_empty() {
+            eprintln!(
+                "loaded {} cached results from {}",
+                cache.len(),
+                path.display()
+            );
+        }
+    }
+
+    let plan = SweepPlan::cross(&options.workloads, &options.grid);
+    eprintln!(
+        "sweeping {} points ({} workloads x {} architecture points) on {} threads",
+        plan.len(),
+        options.workloads.len(),
+        options.grid.enumerate().len(),
+        rayon::current_num_threads()
+    );
+
+    let mut last_outcome = None;
+    for pass in 1..=options.passes {
+        let outcome = run_sweep(&plan, &cache);
+        let s = &outcome.stats;
+        eprintln!(
+            "pass {pass}: {} points in {} ms — {} compiled, {} cache hits ({:.0}% hit rate), {} infeasible",
+            s.points,
+            s.wall_ms,
+            s.compiled,
+            s.cache_hits,
+            s.hit_rate() * 100.0,
+            s.failures,
+        );
+        last_outcome = Some(outcome);
+    }
+    let outcome = last_outcome.expect("at least one pass");
+
+    if let Some(path) = &options.cache_path {
+        cache
+            .save(path)
+            .map_err(|e| format!("cannot save cache {}: {e}", path.display()))?;
+        eprintln!("saved {} results to {}", cache.len(), path.display());
+    }
+    if let Some(path) = &options.out_path {
+        let json =
+            serde_json::to_string_pretty(&outcome).map_err(|e| format!("serialize sweep: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("wrote sweep records to {}", path.display());
+    }
+
+    let frontier = FrontierReport::from_records(&outcome.records);
+    if let Some(path) = &options.frontier_path {
+        let json = serde_json::to_string_pretty(&frontier)
+            .map_err(|e| format!("serialize frontier: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!(
+            "wrote Pareto frontier ({} points across {} workloads) to {}",
+            frontier.frontier_size(),
+            frontier.frontiers.len(),
+            path.display()
+        );
+    }
+    if !options.quiet {
+        print!("{}", frontier.render());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(None) => ExitCode::SUCCESS,
+        Ok(Some(options)) => match run(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("plaid-dse: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("plaid-dse: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

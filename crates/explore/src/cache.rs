@@ -1,0 +1,261 @@
+//! Content-addressed memoization of sweep evaluations.
+//!
+//! Every (workload × design point × mapper) evaluation is keyed by a hash of
+//! the *content* that determines its result — the workload descriptor, the
+//! full architecture parameterization and the mapper choice — not by its
+//! position in any particular sweep. Overlapping or repeated sweeps therefore
+//! share results: a point evaluated once is never compiled again, whether the
+//! second request comes from the same process or from a cache file persisted
+//! by an earlier `plaid-dse` run.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::record::EvalRecord;
+use crate::sweep::SweepPoint;
+
+/// FNV-1a 64-bit hash — stable across platforms and runs, unlike
+/// `DefaultHasher`, which makes keys safe to persist.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Computes the content-addressed cache key of a sweep point.
+///
+/// The key covers the workload identity (name, kernel, unroll, iteration
+/// count), the complete architecture parameterization (class, dimensions,
+/// configuration depth, communication level — via the design point's JSON
+/// form, which includes every `ArchParams` knob the builders consume) and the
+/// mapper. The `v1:` prefix versions the scheme so a future format change
+/// invalidates old cache files instead of aliasing them.
+pub fn cache_key(point: &SweepPoint) -> String {
+    let descriptor = point.workload.descriptor();
+    let canonical = format!(
+        "v1|workload={}|kernel={}|unroll={}|iters={}|design={}|params={}|mapper={}",
+        descriptor.name,
+        descriptor.kernel,
+        descriptor.unroll,
+        descriptor.iterations,
+        serde_json::to_string(&point.design).expect("design point serializes"),
+        serde_json::to_string(&point.design.params()).expect("params serialize"),
+        point.mapper.label(),
+    );
+    format!("v1:{:016x}", fnv1a64(canonical.as_bytes()))
+}
+
+/// True when a cached record was produced for exactly this sweep point.
+fn record_matches(record: &EvalRecord, point: &SweepPoint) -> bool {
+    record.design == point.design
+        && record.mapper == point.mapper
+        && record.workload == point.workload.descriptor()
+}
+
+/// Thread-safe, content-addressed result cache with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: RwLock<HashMap<String, EvalRecord>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a cache persisted by [`ResultCache::save`]. A missing file
+    /// yields an empty cache; a malformed file is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] if the file exists but cannot be read or
+    /// parsed.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        if !path.exists() {
+            return Ok(Self::new());
+        }
+        let text = std::fs::read_to_string(path)?;
+        let entries: HashMap<String, EvalRecord> = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(ResultCache {
+            entries: RwLock::new(entries),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Persists the cache as JSON (object keyed by content hash).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] if the file cannot be written.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let entries = self.entries.read().expect("cache lock poisoned");
+        let text = serde_json::to_string_pretty(&*entries)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, text)
+    }
+
+    /// Looks up a point by its content key, counting a hit or miss.
+    ///
+    /// The stored record's identity is verified against `point` before it is
+    /// returned: a 64-bit key collision (or a corrupted/hand-edited cache
+    /// file) is treated as a miss, so collisions degrade to recompilation
+    /// instead of silently returning another point's result.
+    pub fn lookup(&self, key: &str, point: &SweepPoint) -> Option<EvalRecord> {
+        let entries = self.entries.read().expect("cache lock poisoned");
+        match entries.get(key).filter(|r| record_matches(r, point)) {
+            Some(record) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(record.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an evaluated record.
+    pub fn insert(&self, key: String, record: EvalRecord) {
+        self.entries
+            .write()
+            .expect("cache lock poisoned")
+            .insert(key, record);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found an entry since construction (or the last
+    /// [`ResultCache::reset_counters`]).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from cache (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Zeroes the hit/miss counters (entries are kept). Sweeps call this
+    /// between passes so per-pass rates are meaningful.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaid::pipeline::MapperChoice;
+    use plaid_arch::{ArchClass, CommLevel, DesignPoint};
+    use plaid_workloads::find_workload;
+
+    fn point(workload: &str, comm: CommLevel) -> SweepPoint {
+        SweepPoint {
+            workload: find_workload(workload).unwrap(),
+            design: DesignPoint {
+                class: ArchClass::Plaid,
+                rows: 2,
+                cols: 2,
+                config_entries: 16,
+                comm,
+            },
+            mapper: MapperChoice::Plaid,
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_content_sensitive() {
+        let a = cache_key(&point("dwconv", CommLevel::Aligned));
+        let b = cache_key(&point("dwconv", CommLevel::Aligned));
+        assert_eq!(a, b, "same content, same key");
+        let c = cache_key(&point("dwconv", CommLevel::Lean));
+        assert_ne!(a, c, "different comm level, different key");
+        let d = cache_key(&point("fc", CommLevel::Aligned));
+        assert_ne!(a, d, "different workload, different key");
+        assert!(a.starts_with("v1:"));
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = ResultCache::new();
+        let p = point("dwconv", CommLevel::Aligned);
+        let key = cache_key(&p);
+        assert!(cache.lookup(&key, &p).is_none());
+        assert_eq!(cache.misses(), 1);
+        let record = EvalRecord::failed(&p, "probe");
+        cache.insert(key.clone(), record);
+        assert!(cache.lookup(&key, &p).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        cache.reset_counters();
+        assert_eq!(cache.hits() + cache.misses(), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn colliding_key_with_wrong_identity_is_a_miss() {
+        // Simulate a 64-bit hash collision: a record for a *different* point
+        // stored under this point's key must not be returned.
+        let cache = ResultCache::new();
+        let p = point("dwconv", CommLevel::Aligned);
+        let other = point("fc", CommLevel::Rich);
+        let key = cache_key(&p);
+        cache.insert(key.clone(), EvalRecord::failed(&other, "imposter"));
+        assert!(
+            cache.lookup(&key, &p).is_none(),
+            "mismatched identity served"
+        );
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let cache = ResultCache::new();
+        let p = point("dwconv", CommLevel::Rich);
+        let key = cache_key(&p);
+        cache.insert(key.clone(), EvalRecord::failed(&p, "persisted"));
+        let dir = std::env::temp_dir().join("plaid-explore-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        cache.save(&path).unwrap();
+        let reloaded = ResultCache::load(&path).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        assert!(reloaded.lookup(&key, &p).is_some());
+        std::fs::remove_file(&path).ok();
+        // Missing file loads as empty.
+        let empty = ResultCache::load(&dir.join("nonexistent.json")).unwrap();
+        assert!(empty.is_empty());
+    }
+}

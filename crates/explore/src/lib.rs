@@ -1,0 +1,58 @@
+//! Design-space exploration for aligned compute/communication provisioning.
+//!
+//! The paper argues that CGRA efficiency is a *provisioning alignment*
+//! problem: a fabric wastes energy when its communication resources (routers,
+//! configuration select bits) outrun its compute, and wastes performance when
+//! they fall short. Answering "which provisioning is right for this workload
+//! mix?" requires sweeping the design space — exactly what this crate does:
+//!
+//! 1. [`plaid_arch::enumerate::SpaceSpec`] enumerates architecture points
+//!    across the compute axis (array dimensions, configuration-memory depth)
+//!    and the communication axis ([`plaid_arch::CommLevel`]);
+//! 2. [`sweep::SweepPlan`] crosses those points with workloads and
+//!    [`sweep::run_sweep`] evaluates them in parallel through the
+//!    `plaid::pipeline`, memoizing every result in a content-addressed
+//!    [`cache::ResultCache`] so repeated and overlapping sweeps are
+//!    near-free;
+//! 3. [`pareto::FrontierReport`] extracts the per-workload Pareto frontier
+//!    over {cycles, area, energy} and serializes it to JSON.
+//!
+//! The `plaid-dse` binary drives all three stages from the command line; the
+//! `provisioning_frontier` example reproduces the paper's aligned-versus-
+//! misaligned comparison as a frontier table.
+//!
+//! # Example
+//!
+//! ```
+//! use plaid_arch::{ArchClass, CommLevel, SpaceSpec};
+//! use plaid_explore::{run_sweep, FrontierReport, ResultCache, SweepPlan};
+//! use plaid_workloads::find_workload;
+//!
+//! let spec = SpaceSpec {
+//!     classes: vec![ArchClass::Plaid],
+//!     dims: vec![(2, 2)],
+//!     config_entries: vec![16],
+//!     comm_levels: vec![CommLevel::Aligned],
+//! };
+//! let plan = SweepPlan::cross(&[find_workload("dwconv").unwrap()], &spec);
+//! let cache = ResultCache::new();
+//! let outcome = run_sweep(&plan, &cache);
+//! let frontier = FrontierReport::from_records(&outcome.records);
+//! assert_eq!(frontier.frontiers.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pareto;
+pub mod record;
+pub mod sweep;
+
+pub use cache::{cache_key, ResultCache};
+pub use pareto::{pareto_indices, FrontierReport, Objectives, WorkloadFrontier};
+pub use record::EvalRecord;
+pub use sweep::{
+    default_mapper_for_class, evaluate_point, run_sweep, SweepOutcome, SweepPlan, SweepPoint,
+    SweepStats,
+};

@@ -1,0 +1,75 @@
+//! The serializable result record of one sweep evaluation.
+
+use plaid::pipeline::{CompileSummary, MapperChoice};
+use plaid_arch::DesignPoint;
+use plaid_workloads::WorkloadDescriptor;
+use serde::{Deserialize, Serialize};
+
+use crate::pareto::Objectives;
+use crate::sweep::SweepPoint;
+
+/// Result of evaluating one (workload × design point × mapper) sweep point.
+///
+/// Failures are first-class: a point whose mapping fails (e.g. a lean network
+/// that cannot route the workload, or a configuration memory too shallow for
+/// any feasible initiation interval) is recorded with its error text, so the
+/// frontier report can distinguish "dominated" from "infeasible".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Workload identity.
+    pub workload: WorkloadDescriptor,
+    /// The provisioning point that was built.
+    pub design: DesignPoint,
+    /// Architecture label (`DesignPoint::label`), kept denormalized for
+    /// report rendering.
+    pub arch: String,
+    /// Mapper used.
+    pub mapper: MapperChoice,
+    /// Functional units the point provisions (the compute axis).
+    pub compute_units: u32,
+    /// Whether compilation succeeded.
+    pub ok: bool,
+    /// Error text when `ok` is false.
+    pub error: Option<String>,
+    /// Compilation summary when `ok` is true.
+    pub summary: Option<CompileSummary>,
+}
+
+impl EvalRecord {
+    /// Builds the success record for a sweep point.
+    pub fn succeeded(point: &SweepPoint, summary: CompileSummary) -> Self {
+        EvalRecord {
+            workload: point.workload.descriptor(),
+            design: point.design,
+            arch: point.design.label(),
+            mapper: point.mapper,
+            compute_units: point.design.compute_units(),
+            ok: true,
+            error: None,
+            summary: Some(summary),
+        }
+    }
+
+    /// Builds the failure record for a sweep point.
+    pub fn failed(point: &SweepPoint, error: impl Into<String>) -> Self {
+        EvalRecord {
+            workload: point.workload.descriptor(),
+            design: point.design,
+            arch: point.design.label(),
+            mapper: point.mapper,
+            compute_units: point.design.compute_units(),
+            ok: false,
+            error: Some(error.into()),
+            summary: None,
+        }
+    }
+
+    /// The minimization objectives of this record (`None` for failures).
+    pub fn objectives(&self) -> Option<Objectives> {
+        self.summary.as_ref().map(|s| Objectives {
+            cycles: s.metrics.cycles,
+            area_um2: s.metrics.area_um2,
+            energy_nj: s.metrics.energy_nj,
+        })
+    }
+}

@@ -1,0 +1,234 @@
+//! Parallel sweep execution over the provisioning grid.
+//!
+//! A [`SweepPlan`] is the cross product of a workload list and an enumerated
+//! design space, with one mapper per point (the class default unless
+//! overridden). [`run_sweep`] evaluates the plan in parallel with `rayon`,
+//! consulting the [`ResultCache`] before every compilation so overlapping or
+//! repeated sweeps only pay for points they have never seen.
+
+use std::time::Instant;
+
+use plaid::pipeline::{compile_workload_on, MapperChoice};
+use plaid_arch::{ArchClass, DesignPoint, SpaceSpec};
+use plaid_workloads::Workload;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{cache_key, ResultCache};
+use crate::record::EvalRecord;
+
+/// One evaluatable point: a workload, a provisioning design point and the
+/// mapper that will place the workload onto it.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The workload to compile.
+    pub workload: Workload,
+    /// The architecture point to build.
+    pub design: DesignPoint,
+    /// The mapper to run.
+    pub mapper: MapperChoice,
+}
+
+/// Default mapper for an enumerated architecture class: the motif-aware
+/// mapper on Plaid fabrics, the partitioner on spatial fabrics and
+/// PathFinder on the spatio-temporal baseline (the faster of the two generic
+/// mappers, which matters when sweeping hundreds of points).
+pub fn default_mapper_for_class(class: ArchClass) -> MapperChoice {
+    match class {
+        ArchClass::Plaid => MapperChoice::Plaid,
+        ArchClass::Spatial => MapperChoice::Spatial,
+        ArchClass::SpatioTemporal => MapperChoice::PathFinder,
+    }
+}
+
+/// An ordered list of sweep points.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan {
+    /// Points in deterministic (workload-major) order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepPlan {
+    /// Crosses `workloads` with the enumerated `space`, assigning each point
+    /// its class-default mapper.
+    pub fn cross(workloads: &[Workload], space: &SpaceSpec) -> Self {
+        Self::cross_with(workloads, space, default_mapper_for_class)
+    }
+
+    /// Crosses `workloads` with `space` using an explicit mapper policy.
+    pub fn cross_with(
+        workloads: &[Workload],
+        space: &SpaceSpec,
+        mapper_for: impl Fn(ArchClass) -> MapperChoice,
+    ) -> Self {
+        let designs = space.enumerate();
+        let mut points = Vec::with_capacity(workloads.len() * designs.len());
+        for workload in workloads {
+            for &design in &designs {
+                points.push(SweepPoint {
+                    workload: workload.clone(),
+                    design,
+                    mapper: mapper_for(design.class),
+                });
+            }
+        }
+        SweepPlan { points }
+    }
+
+    /// Number of points in the plan.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Accounting for one sweep pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Points in the plan.
+    pub points: usize,
+    /// Points actually compiled this pass (cache misses).
+    pub compiled: usize,
+    /// Points served from the cache.
+    pub cache_hits: usize,
+    /// Points whose compilation failed (counted within `compiled`).
+    pub failures: usize,
+    /// Wall-clock time of the pass in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl SweepStats {
+    /// Fraction of points served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.points as f64
+        }
+    }
+}
+
+/// The result of one sweep pass: per-point records (in plan order) plus
+/// accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// One record per plan point, in plan order.
+    pub records: Vec<EvalRecord>,
+    /// Pass accounting.
+    pub stats: SweepStats,
+}
+
+/// Evaluates one sweep point, consulting (and populating) the cache.
+pub fn evaluate_point(point: &SweepPoint, cache: &ResultCache) -> EvalRecord {
+    let key = cache_key(point);
+    if let Some(record) = cache.lookup(&key, point) {
+        return record;
+    }
+    let arch = point.design.build();
+    let record = match compile_workload_on(&point.workload, &arch, point.mapper) {
+        Ok(compiled) => EvalRecord::succeeded(point, compiled.summary()),
+        Err(e) => EvalRecord::failed(point, e.to_string()),
+    };
+    cache.insert(key, record.clone());
+    record
+}
+
+/// Runs the plan in parallel, returning records in plan order.
+///
+/// Cache hit/miss accounting in the returned [`SweepStats`] reflects only
+/// this pass (the cache's counters are reset on entry).
+pub fn run_sweep(plan: &SweepPlan, cache: &ResultCache) -> SweepOutcome {
+    let start = Instant::now();
+    cache.reset_counters();
+    let records: Vec<EvalRecord> = plan
+        .points
+        .par_iter()
+        .map(|point| evaluate_point(point, cache))
+        .collect();
+    let cache_hits = cache.hits() as usize;
+    let failures = records.iter().filter(|r| !r.ok).count();
+    SweepOutcome {
+        stats: SweepStats {
+            points: records.len(),
+            compiled: records.len() - cache_hits,
+            cache_hits,
+            failures,
+            wall_ms: start.elapsed().as_millis() as u64,
+        },
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaid_arch::CommLevel;
+    use plaid_workloads::find_workload;
+
+    fn tiny_plan() -> SweepPlan {
+        let spec = SpaceSpec {
+            classes: vec![ArchClass::Plaid],
+            dims: vec![(2, 2)],
+            config_entries: vec![16],
+            comm_levels: vec![CommLevel::Aligned, CommLevel::Rich],
+        };
+        SweepPlan::cross(&[find_workload("dwconv").unwrap()], &spec)
+    }
+
+    #[test]
+    fn plan_is_the_cross_product_with_class_default_mappers() {
+        let plan = tiny_plan();
+        assert_eq!(plan.len(), 2);
+        assert!(plan.points.iter().all(|p| p.mapper == MapperChoice::Plaid));
+        assert_eq!(
+            default_mapper_for_class(ArchClass::Spatial),
+            MapperChoice::Spatial
+        );
+        assert_eq!(
+            default_mapper_for_class(ArchClass::SpatioTemporal),
+            MapperChoice::PathFinder
+        );
+    }
+
+    #[test]
+    fn sweep_evaluates_and_second_pass_is_fully_cached() {
+        let plan = tiny_plan();
+        let cache = ResultCache::new();
+        let first = run_sweep(&plan, &cache);
+        assert_eq!(first.stats.points, 2);
+        assert_eq!(first.stats.compiled, 2);
+        assert_eq!(first.stats.cache_hits, 0);
+        assert!(first.records.iter().all(|r| r.ok), "dwconv maps on plaid");
+
+        let second = run_sweep(&plan, &cache);
+        assert_eq!(
+            second.stats.compiled, 0,
+            "no recompilation on identical sweep"
+        );
+        assert_eq!(second.stats.cache_hits, 2);
+        assert!((second.stats.hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(second.records, first.records, "cached results identical");
+    }
+
+    #[test]
+    fn overlapping_sweep_only_compiles_new_points() {
+        let cache = ResultCache::new();
+        let _ = run_sweep(&tiny_plan(), &cache);
+        // Extend the space by one comm level: only the new point compiles.
+        let spec = SpaceSpec {
+            classes: vec![ArchClass::Plaid],
+            dims: vec![(2, 2)],
+            config_entries: vec![16],
+            comm_levels: CommLevel::ALL.to_vec(),
+        };
+        let bigger = SweepPlan::cross(&[find_workload("dwconv").unwrap()], &spec);
+        let outcome = run_sweep(&bigger, &cache);
+        assert_eq!(outcome.stats.points, 3);
+        assert_eq!(outcome.stats.compiled, 1);
+        assert_eq!(outcome.stats.cache_hits, 2);
+    }
+}

@@ -26,7 +26,11 @@ impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapError::UnsupportedDfg(msg) => write!(f, "DFG not supported by architecture: {msg}"),
-            MapError::NoValidMapping { kernel, arch, max_ii } => write!(
+            MapError::NoValidMapping {
+                kernel,
+                arch,
+                max_ii,
+            } => write!(
                 f,
                 "no valid mapping of {kernel} onto {arch} up to II={max_ii}"
             ),

@@ -129,10 +129,16 @@ impl Mapping {
                 return fail(format!("node {} placed on non-FU {}", node.id, res.name));
             };
             if node.op.is_memory() && !caps.memory {
-                return fail(format!("memory node {} placed on non-memory FU {}", node.id, res.name));
+                return fail(format!(
+                    "memory node {} placed on non-memory FU {}",
+                    node.id, res.name
+                ));
             }
             if node.op.is_compute() && !caps.compute {
-                return fail(format!("compute node {} placed on non-compute FU {}", node.id, res.name));
+                return fail(format!(
+                    "compute node {} placed on non-compute FU {}",
+                    node.id, res.name
+                ));
             }
         }
         // 2. FU exclusivity per modulo slot.
@@ -238,8 +244,20 @@ mod tests {
     #[test]
     fn schedule_length_and_cycles() {
         let mut placements = HashMap::new();
-        placements.insert(NodeId(0), Placement { fu: ResourceId(0), cycle: 0 });
-        placements.insert(NodeId(1), Placement { fu: ResourceId(2), cycle: 3 });
+        placements.insert(
+            NodeId(0),
+            Placement {
+                fu: ResourceId(0),
+                cycle: 0,
+            },
+        );
+        placements.insert(
+            NodeId(1),
+            Placement {
+                fu: ResourceId(2),
+                cycle: 3,
+            },
+        );
         let m = Mapping {
             arch_name: "test".into(),
             mapper_name: "manual".into(),
@@ -257,8 +275,14 @@ mod tests {
     fn route_len_and_hops() {
         let route = Route {
             hops: vec![
-                RouteHop { resource: ResourceId(1), cycle: 1 },
-                RouteHop { resource: ResourceId(3), cycle: 2 },
+                RouteHop {
+                    resource: ResourceId(1),
+                    cycle: 1,
+                },
+                RouteHop {
+                    resource: ResourceId(3),
+                    cycle: 2,
+                },
             ],
         };
         assert_eq!(route.len(), 2);

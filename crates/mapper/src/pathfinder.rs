@@ -47,7 +47,12 @@ impl PathFinderMapper {
         PathFinderMapper { options }
     }
 
-    fn attempt_ii<'a>(&self, dfg: &'a Dfg, arch: &'a Architecture, ii: u32) -> Option<MapState<'a>> {
+    fn attempt_ii<'a>(
+        &self,
+        dfg: &'a Dfg,
+        arch: &'a Architecture,
+        ii: u32,
+    ) -> Option<MapState<'a>> {
         let mut state = MapState::new(dfg, arch, ii);
         // Placement uses the hard-capacity policy so the starting point is
         // already congestion-aware; negotiation then owns the routing.

@@ -163,7 +163,7 @@ impl<'a> MapState<'a> {
     /// `distance × II`).
     pub fn timing_ok(&self) -> bool {
         self.dfg.edges().all(|e| match self.arrival_cycle(e) {
-            Some((src_cycle, arrival)) => arrival >= src_cycle + 1,
+            Some((src_cycle, arrival)) => arrival > src_cycle,
             None => true,
         })
     }

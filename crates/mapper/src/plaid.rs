@@ -15,7 +15,9 @@ use rand::{Rng, SeedableRng};
 
 use plaid_arch::{ArchClass, Architecture, Cluster, HardwiredPattern};
 use plaid_dfg::{Dfg, EdgeId, NodeId};
-use plaid_motif::{identify_motifs, schedule_templates, HierarchicalDfg, IdentifyOptions, Motif, MotifKind};
+use plaid_motif::{
+    identify_motifs, schedule_templates, HierarchicalDfg, IdentifyOptions, Motif, MotifKind,
+};
 
 use crate::error::MapError;
 use crate::mapping::Mapping;
@@ -140,7 +142,12 @@ impl PlaidMapper {
 
     /// Places one motif, scanning clusters (least-loaded first), templates and
     /// start offsets. Returns `true` on success.
-    fn place_motif(state: &mut MapState<'_>, motif: &Motif, rng: &mut SmallRng, randomize: bool) -> bool {
+    fn place_motif(
+        state: &mut MapState<'_>,
+        motif: &Motif,
+        rng: &mut SmallRng,
+        randomize: bool,
+    ) -> bool {
         let mut clusters: Vec<Cluster> = state.arch.clusters().to_vec();
         // "Map the motif to a PE with the least routing resource [usage]":
         // prefer hardwired clusters matching the kind, then least-loaded ones.
@@ -356,7 +363,7 @@ impl Mapper for PlaidMapper {
 mod tests {
     use super::*;
     use plaid_arch::plaid as plaid_fabric;
-    use plaid_arch::{specialize, spatio_temporal};
+    use plaid_arch::{spatio_temporal, specialize};
     use plaid_dfg::kernel::{AffineExpr, Expr, KernelBuilder};
     use plaid_dfg::lower::{lower_kernel, LoweringOptions};
     use plaid_dfg::Op;

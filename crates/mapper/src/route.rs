@@ -186,7 +186,11 @@ pub fn find_route(
         if cost < best[idx] {
             best[idx] = cost;
             parent[idx] = None;
-            heap.push(QueueEntry { cost, resource: link.to.0, elapsed });
+            heap.push(QueueEntry {
+                cost,
+                resource: link.to.0,
+                elapsed,
+            });
         }
     }
 
@@ -235,7 +239,11 @@ pub fn find_route(
             if cost < best[nidx] {
                 best[nidx] = cost;
                 parent[nidx] = Some((entry.resource, entry.elapsed));
-                heap.push(QueueEntry { cost, resource: link.to.0, elapsed });
+                heap.push(QueueEntry {
+                    cost,
+                    resource: link.to.0,
+                    elapsed,
+                });
             }
         }
     }
@@ -297,7 +305,10 @@ mod tests {
         // The value enters the router at cycle 0 and loops in its hold until it
         // is consumed at cycle 3, occupying the router in cycles 0 through 3.
         assert_eq!(route.hops.len(), 4);
-        assert!(route.hops.iter().all(|h| h.resource == arch.clusters()[0].global_router));
+        assert!(route
+            .hops
+            .iter()
+            .all(|h| h.resource == arch.clusters()[0].global_router));
     }
 
     #[test]

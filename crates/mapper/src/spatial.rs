@@ -26,19 +26,11 @@ use crate::error::MapError;
 use crate::mii::rec_mii;
 
 /// Options of the spatial mapper.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpatialOptions {
     /// Maximum nodes (original plus spill operations) per partition; defaults
     /// to the number of functional units of the fabric.
     pub max_nodes_per_partition: Option<usize>,
-}
-
-impl Default for SpatialOptions {
-    fn default() -> Self {
-        SpatialOptions {
-            max_nodes_per_partition: None,
-        }
-    }
 }
 
 /// One spatial partition of the DFG.
@@ -183,10 +175,7 @@ impl SpatialMapper {
             .iter()
             .enumerate()
             .map(|(i, nodes)| {
-                let memory_nodes = nodes
-                    .iter()
-                    .filter(|&&n| dfg.node(n).is_memory())
-                    .count();
+                let memory_nodes = nodes.iter().filter(|&&n| dfg.node(n).is_memory()).count();
                 let stores = spill_stores[i].len();
                 let loads = spill_loads[i].len();
                 let has_recurrence = dfg

@@ -155,7 +155,10 @@ mod tests {
         let fu = ResourceId(0);
         s.occupy(fu, 0, NodeId(3));
         assert!(s.fits(fu, 0, NodeId(3)), "same value always fits");
-        assert!(!s.fits(fu, 0, NodeId(4)), "different value exceeds capacity");
+        assert!(
+            !s.fits(fu, 0, NodeId(4)),
+            "different value exceeds capacity"
+        );
     }
 
     #[test]

@@ -90,17 +90,13 @@ impl HierarchicalDfg {
 
     /// Edges of `dfg` internal to some motif (routed by a local router).
     pub fn internal_edges<'d>(&self, dfg: &'d Dfg) -> Vec<&'d DfgEdge> {
-        dfg.edges()
-            .filter(|e| self.is_internal_edge(e))
-            .collect()
+        dfg.edges().filter(|e| self.is_internal_edge(e)).collect()
     }
 
     /// Edges of `dfg` between different motifs / standalone nodes (routed by
     /// the global network), including recurrence edges.
     pub fn external_edges<'d>(&self, dfg: &'d Dfg) -> Vec<&'d DfgEdge> {
-        dfg.edges()
-            .filter(|e| !self.is_internal_edge(e))
-            .collect()
+        dfg.edges().filter(|e| !self.is_internal_edge(e)).collect()
     }
 
     /// Whether an edge is covered by (internal to) a motif.

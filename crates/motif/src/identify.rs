@@ -62,7 +62,8 @@ pub fn identify_motifs(dfg: &Dfg, options: &IdentifyOptions) -> HierarchicalDfg 
         if stale >= options.patience {
             break;
         }
-        let standalone_count = dfg.node_count() - motifs.iter().map(|m| m.nodes.len()).sum::<usize>();
+        let standalone_count =
+            dfg.node_count() - motifs.iter().map(|m| m.nodes.len()).sum::<usize>();
         if motifs.len() > standalone_count {
             break;
         }
@@ -165,7 +166,10 @@ pub(crate) fn match_pattern(dfg: &Dfg, node: NodeId, covered: &HashSet<NodeId>) 
     }
     // Fan-out with `node` as the producer.
     if succs.len() >= 2 && succs[0] != succs[1] {
-        return Some(Motif::new(MotifKind::FanOut, vec![node, succs[0], succs[1]]));
+        return Some(Motif::new(
+            MotifKind::FanOut,
+            vec![node, succs[0], succs[1]],
+        ));
     }
     // Unicast with `node` in the middle.
     if let (Some(&p), Some(&s)) = (preds.first(), succs.first()) {
@@ -206,7 +210,10 @@ pub(crate) fn match_pattern(dfg: &Dfg, node: NodeId, covered: &HashSet<NodeId>) 
 
 /// Greedily appends two-node pair motifs over the remaining standalone nodes.
 fn append_pairs(dfg: &Dfg, motifs: &mut Vec<Motif>) {
-    let mut covered: HashSet<NodeId> = motifs.iter().flat_map(|m| m.nodes.iter().copied()).collect();
+    let mut covered: HashSet<NodeId> = motifs
+        .iter()
+        .flat_map(|m| m.nodes.iter().copied())
+        .collect();
     let order = dfg
         .topological_order()
         .unwrap_or_else(|_| dfg.node_ids().collect());
@@ -300,7 +307,11 @@ mod tests {
         let hdfg = identify_motifs(&dfg, &IdentifyOptions::default());
         assert!(!hdfg.motifs().is_empty());
         // The fan-in pattern (two multiplies into an add) must be covered.
-        assert!(hdfg.coverage_ratio() >= 0.5, "coverage {}", hdfg.coverage_ratio());
+        assert!(
+            hdfg.coverage_ratio() >= 0.5,
+            "coverage {}",
+            hdfg.coverage_ratio()
+        );
     }
 
     #[test]
@@ -317,7 +328,8 @@ mod tests {
             prev = n;
         }
         let st = dfg.add_store("st", "y", AffineExpr::var(0));
-        dfg.add_edge(prev, st, Operand::Lhs, EdgeKind::Data).unwrap();
+        dfg.add_edge(prev, st, Operand::Lhs, EdgeKind::Data)
+            .unwrap();
         let hdfg = identify_motifs(&dfg, &IdentifyOptions::default());
         assert_eq!(hdfg.covered_compute_nodes(), 6);
         assert_eq!(hdfg.motifs().len(), 2);
@@ -398,6 +410,10 @@ mod tests {
             .unwrap();
         let dfg = lower_kernel(&kernel, &LoweringOptions::unrolled(2)).unwrap();
         let hdfg = identify_motifs(&dfg, &IdentifyOptions::default());
-        assert!(hdfg.coverage_ratio() > 0.4, "coverage {}", hdfg.coverage_ratio());
+        assert!(
+            hdfg.coverage_ratio() > 0.4,
+            "coverage {}",
+            hdfg.coverage_ratio()
+        );
     }
 }

@@ -48,7 +48,8 @@ impl MotifKind {
     }
 
     /// The three fundamental three-node motif kinds.
-    pub const THREE_NODE: [MotifKind; 3] = [MotifKind::FanIn, MotifKind::FanOut, MotifKind::Unicast];
+    pub const THREE_NODE: [MotifKind; 3] =
+        [MotifKind::FanIn, MotifKind::FanOut, MotifKind::Unicast];
 }
 
 /// A motif instance: a small sub-DFG of compute nodes whose internal data

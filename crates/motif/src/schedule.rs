@@ -132,7 +132,12 @@ mod tests {
 
     #[test]
     fn every_template_respects_dependencies() {
-        for kind in [MotifKind::FanIn, MotifKind::FanOut, MotifKind::Unicast, MotifKind::Pair] {
+        for kind in [
+            MotifKind::FanIn,
+            MotifKind::FanOut,
+            MotifKind::Unicast,
+            MotifKind::Pair,
+        ] {
             let templates = schedule_templates(kind);
             assert!(!templates.is_empty());
             for (i, t) in templates.iter().enumerate() {
@@ -152,7 +157,12 @@ mod tests {
 
     #[test]
     fn templates_fit_within_three_alus() {
-        for kind in [MotifKind::FanIn, MotifKind::FanOut, MotifKind::Unicast, MotifKind::Pair] {
+        for kind in [
+            MotifKind::FanIn,
+            MotifKind::FanOut,
+            MotifKind::Unicast,
+            MotifKind::Pair,
+        ] {
             for t in schedule_templates(kind) {
                 assert!(t.slots.iter().all(|s| s.alu < 3));
             }

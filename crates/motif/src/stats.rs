@@ -10,7 +10,7 @@ use crate::motif::MotifKind;
 /// Per-DFG characteristics as reported in Table 2: total node count, compute
 /// node count and the number of compute nodes covered by motifs, plus the mix
 /// of motif kinds found.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CoverageStats {
     /// Kernel name.
     pub name: String,

@@ -1,0 +1,283 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build container has no crates.io access, so the bench targets run
+//! against this minimal timer harness: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `sample_size`/`measurement_time`/`warm_up_time`, and
+//! `bench_function` with `Bencher::iter`. Each benchmark runs a short
+//! calibration pass, then reports mean wall time per iteration. Statistical
+//! machinery (outlier rejection, regressions, HTML reports) is out of scope —
+//! swap the `[workspace.dependencies]` entry for the real crate to get it.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver (stands in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a plain argument;
+        // `cargo test`-style harness flags are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark function (no group).
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let filter = self.filter.clone();
+        run_benchmark(
+            name,
+            &filter,
+            Duration::from_millis(500),
+            Duration::from_secs(3),
+            10,
+            f,
+        );
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(
+            &full,
+            &self.criterion.filter,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark(
+    name: &str,
+    filter: &Option<String>,
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        mode: Mode::WarmUp {
+            deadline: Instant::now() + warm_up,
+        },
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let per_sample = budget.as_secs_f64() / samples as f64;
+    bencher.plan(per_sample);
+    bencher.mode = Mode::Measure {
+        target_samples: samples,
+    };
+    f(&mut bencher);
+    bencher.report(name);
+}
+
+enum Mode {
+    WarmUp { deadline: Instant },
+    Measure { target_samples: usize },
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly per the harness plan.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        match self.mode {
+            Mode::WarmUp { deadline } => {
+                // Also estimates the per-iteration cost for sample planning.
+                let mut iters = 0u64;
+                let start = Instant::now();
+                while Instant::now() < deadline {
+                    hint::black_box(routine());
+                    iters += 1;
+                }
+                let elapsed = start.elapsed().as_secs_f64();
+                self.samples.clear();
+                self.samples.push(if iters > 0 {
+                    elapsed / iters as f64
+                } else {
+                    elapsed
+                });
+            }
+            Mode::Measure { target_samples } => {
+                self.samples.clear();
+                for _ in 0..target_samples {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        hint::black_box(routine());
+                    }
+                    self.samples
+                        .push(start.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+                }
+            }
+        }
+    }
+
+    /// Chooses iterations-per-sample from the warm-up estimate.
+    fn plan(&mut self, per_sample_seconds: f64) {
+        let est = self.samples.first().copied().unwrap_or(1e-6).max(1e-9);
+        self.iters_per_sample = ((per_sample_seconds / est).round() as u64).clamp(1, 1_000_000);
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} no samples");
+            return;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            format_time(min),
+            format_time(mean),
+            format_time(max)
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+        // Called once for warm-up and once for measurement.
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(5e-9).contains("ns"));
+        assert!(format_time(5e-6).contains("µs"));
+        assert!(format_time(5e-3).contains("ms"));
+        assert!(format_time(5.0).contains(" s"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! deterministic xorshift-based implementation of the `rand` APIs the mappers
+//! rely on: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and [`seq::SliceRandom`].
+//! The streams are reproducible but are *not* the upstream `rand` streams;
+//! mapper seeds therefore explore the same space with different samples.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a `Range` by this shim.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[range.start, range.end)` using `next` as the
+    /// word source.
+    fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u128;
+                let v = (next() as u128) % span;
+                range.start + v as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(range: Range<Self>, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = (next() as u128) % span;
+                (range.start as i128 + v as i128) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Core random-sampling trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// Returns the next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let mut f = || self.next_u64();
+        T::sample(range, &mut f)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Samples a uniform value in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 bits of mantissa, as rand's Standard distribution does.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples a value from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::standard(&mut f)
+    }
+}
+
+/// Types with a standard distribution this shim can sample (`rng.gen()`).
+pub trait Standard {
+    /// Samples from the standard distribution using `next` as the word
+    /// source.
+    fn standard(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard(next: &mut dyn FnMut() -> u64) -> f64 {
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn standard(next: &mut dyn FnMut() -> u64) -> bool {
+        next() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard(next: &mut dyn FnMut() -> u64) -> u64 {
+        next()
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random number generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xorshift64*; stands in for
+    /// `rand::rngs::SmallRng`).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* (Vigna); good enough statistical quality for the
+            // randomized mapper moves and fully deterministic per seed.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Avoid the all-zero fixed point and decorrelate small seeds with
+            // a splitmix64 scramble.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            SmallRng { state: z | 1 }
+        }
+    }
+}
+
+/// Sequence-related sampling helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait for slices (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+
+    #[test]
+    fn gen_bool_and_f64_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trues = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..700).contains(&trues));
+        for _ in 0..100 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

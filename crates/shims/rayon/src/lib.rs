@@ -1,0 +1,237 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build container has no crates.io access, so parallel sweeps run on a
+//! scoped-thread fork/join implemented with the standard library. The API
+//! mirrors the `rayon` calls used by `plaid-explore` (`par_iter().map(..)
+//! .collect()`, `with_min_len`, `current_num_threads`) so the shim can be
+//! swapped for the real crate by flipping one `[workspace.dependencies]`
+//! entry.
+//!
+//! Work is split into one contiguous chunk per worker thread; results are
+//! concatenated in input order, so `collect()` is order-preserving exactly
+//! like rayon's indexed parallel iterators.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Returns the number of worker threads the shim will use.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(4)
+        })
+}
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Parallel iterator adaptors.
+pub mod iter {
+    use super::current_num_threads;
+    use std::thread;
+
+    /// Conversion of `&collection` into a parallel iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item yielded by the iterator.
+        type Item: 'a;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Creates a parallel iterator over borrowed items.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParSlice<'a, T>;
+
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice {
+                items: self,
+                min_len: 1,
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParSlice<'a, T>;
+
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            self.as_slice().par_iter()
+        }
+    }
+
+    /// Minimal parallel-iterator interface: `map` then `collect`.
+    pub trait ParallelIterator: Sized {
+        /// Item type.
+        type Item: Send;
+
+        /// Runs the pipeline, returning results in input order.
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Maps each item through `f` in parallel.
+        fn map<R, F>(self, f: F) -> ParMap<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            ParMap { base: self, f }
+        }
+
+        /// Collects results in input order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par_vec(self.run())
+        }
+    }
+
+    /// Collection types a parallel iterator can collect into.
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from the ordered result vector.
+        fn from_par_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    /// Parallel iterator over a slice.
+    pub struct ParSlice<'a, T> {
+        items: &'a [T],
+        min_len: usize,
+    }
+
+    impl<'a, T: Sync> ParSlice<'a, T> {
+        /// Lower bound on items per worker chunk (rayon's `with_min_len`).
+        pub fn with_min_len(mut self, min: usize) -> Self {
+            self.min_len = min.max(1);
+            self
+        }
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+        type Item = &'a T;
+
+        fn run(self) -> Vec<&'a T> {
+            self.items.iter().collect()
+        }
+    }
+
+    /// A mapped parallel iterator.
+    pub struct ParMap<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParallelIterator for ParMap<ParSlice<'a, T>, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        type Item = R;
+
+        fn run(self) -> Vec<R> {
+            let items = self.base.items;
+            let f = &self.f;
+            if items.is_empty() {
+                return Vec::new();
+            }
+            let workers = current_num_threads().max(1);
+            let chunk = items.len().div_ceil(workers).max(self.base.min_len);
+            if chunk >= items.len() {
+                return items.iter().map(f).collect();
+            }
+            let mut per_chunk: Vec<Vec<R>> = Vec::new();
+            thread::scope(|scope| {
+                let handles: Vec<_> = items
+                    .chunks(chunk)
+                    .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                per_chunk = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rayon-shim worker panicked"))
+                    .collect();
+            });
+            per_chunk.into_iter().flatten().collect()
+        }
+    }
+
+    // One level of nesting (`par_iter().map(f).map(g)`) is enough for this
+    // workspace; deeper pipelines should fuse their closures.
+    impl<'a, T, R, R2, F, G> ParallelIterator for ParMap<ParMap<ParSlice<'a, T>, F>, G>
+    where
+        T: Sync,
+        R: Send,
+        R2: Send,
+        F: Fn(&'a T) -> R + Sync,
+        G: Fn(R) -> R2 + Sync,
+    {
+        type Item = R2;
+
+        fn run(self) -> Vec<R2> {
+            let g = &self.f;
+            let inner = self.base;
+            let f = &inner.f;
+            let fused = ParMap {
+                base: inner.base,
+                f: move |t: &'a T| g(f(t)),
+            };
+            fused.run()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..997).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..997).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..4096).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        if super::current_num_threads() > 1 {
+            assert!(seen.lock().unwrap().len() > 1, "expected >1 worker thread");
+        }
+    }
+
+    #[test]
+    fn chained_maps_fuse() {
+        let input: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = input.par_iter().map(|&x| x + 1).map(|x| x * 3).collect();
+        assert_eq!(out[10], 33);
+    }
+}

@@ -1,0 +1,456 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! value-tree serialization framework with the same *surface* as serde:
+//! `#[derive(Serialize, Deserialize)]` (provided by the sibling
+//! `serde_derive` shim) plus `serde_json::{to_string, to_string_pretty,
+//! from_str}`. Instead of serde's visitor architecture, [`Serialize`] lowers
+//! a value to a [`Value`] tree and [`Deserialize`] rebuilds it from one;
+//! `serde_json` renders and parses that tree. Swap the
+//! `[workspace.dependencies]` path entries for the real crates to get the
+//! upstream implementation.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Map type used for JSON objects. `BTreeMap` keeps field order stable so
+/// serialized output is deterministic.
+pub type Map = BTreeMap<String, Value>;
+
+/// An owned, self-describing value tree (the shim's data model; mirrors
+/// `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with deterministic (sorted) key order.
+    Object(Map),
+}
+
+impl Value {
+    /// Borrows the object map if this value is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array if this value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value as `f64` if this value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value as `u64` if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value as `i64` if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Error for a type mismatch at `what`.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Error::custom(format!("expected {what}, got {kind}"))
+    }
+
+    /// Error for a missing struct field.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` of `{ty}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves to a [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self` to a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| Error::expected(stringify!($t), value))?;
+                <$t>::try_from(i).map_err(|_| Error::custom(format!(
+                    "{i} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl Serialize for u64 {
+    fn serialize(&self) -> Value {
+        if let Ok(i) = i64::try_from(*self) {
+            Value::Int(i)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_u64().ok_or_else(|| Error::expected("u64", value))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::expected("f64", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("f32", value))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("char", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn serialize(&self) -> Value {
+        // Sort keys so output is deterministic regardless of hasher state.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_array().ok_or_else(|| Error::expected("tuple array", value))?;
+                let expected = [$($idx,)+].len();
+                if arr.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, got array of {}", arr.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0i64, -3, i64::MAX] {
+            assert_eq!(i64::deserialize(&v.serialize()).unwrap(), v);
+        }
+        assert_eq!(u64::deserialize(&u64::MAX.serialize()).unwrap(), u64::MAX);
+        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        let f = 1.5f64;
+        assert_eq!(f64::deserialize(&f.serialize()).unwrap(), f);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize(&o.serialize()).unwrap(), None);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        assert_eq!(
+            BTreeMap::<String, u32>::deserialize(&m.serialize()).unwrap(),
+            m
+        );
+        let t = (1u32, "x".to_string());
+        assert_eq!(<(u32, String)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(u32::deserialize(&Value::String("x".into())).is_err());
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+        assert!(Vec::<u32>::deserialize(&Value::Null).is_err());
+    }
+}

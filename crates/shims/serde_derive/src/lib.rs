@@ -1,0 +1,309 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's offline `serde`
+//! shim.
+//!
+//! The build container has no crates.io access, so this crate implements the
+//! two derives directly on `proc_macro::TokenStream` (no `syn`/`quote`).
+//! Supported shapes — which cover every type the workspace derives on:
+//!
+//! * structs with named fields (`struct S { a: T, b: U }`),
+//! * unit structs,
+//! * enums whose variants are all unit variants (`enum E { A, B }`) —
+//!   serialized as the variant-name string, matching serde's external
+//!   representation for C-like enums.
+//!
+//! Tuple structs, generic types and data-carrying enum variants are rejected
+//! with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct with the listed field identifiers.
+    Struct { name: String, fields: Vec<String> },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum with only unit variants.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` (shim) for named-field structs, unit structs
+/// and unit-variant enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (shim) for named-field structs, unit structs
+/// and unit-variant enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Parses the item the derive is attached to into one of the supported
+/// shapes.
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracket group of the attribute.
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute before item".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("serde shim derive: unexpected `{s}` before item"));
+            }
+            Some(other) => {
+                return Err(format!("serde shim derive: unexpected token `{other}`"));
+            }
+            None => return Err("serde shim derive: empty item".into()),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: missing item name".into()),
+    };
+
+    // Reject generics: the shim only derives on concrete types.
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Shape::Struct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            } else {
+                Ok(Shape::Enum {
+                    name,
+                    variants: parse_unit_variants(g.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            Ok(Shape::UnitStruct { name })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Err(format!(
+            "serde shim derive does not support tuple struct `{name}`"
+        )),
+        _ => Err(format!("serde shim derive: malformed body of `{name}`")),
+    }
+}
+
+/// Extracts field names from the brace group of a named-field struct.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility on the field.
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name.
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(other) => return Err(format!("expected field name, got `{other}`")),
+            None => break,
+        }
+        // Expect `:` then the type; skip type tokens up to a top-level comma.
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("expected `:` after field name".into()),
+        }
+        let mut angle_depth = 0i32;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from the brace group of an enum, rejecting
+/// data-carrying variants.
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            _ => {}
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            Some(other) => return Err(format!("expected variant name, got `{other}`")),
+            None => break,
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive does not support data-carrying variant `{}`",
+                    variants.last().unwrap()
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_string(), serde::Serialize::serialize(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n\
+                         let mut map = serde::Map::new();\n\
+                         {inserts}\
+                         serde::Value::Object(map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> serde::Value {{\n\
+                     serde::Value::Object(serde::Map::new())\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let extracts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::deserialize(\n\
+                             obj.get({f:?})\n\
+                                 .ok_or_else(|| serde::Error::missing_field({name:?}, {f:?}))?\n\
+                         )?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let obj = value\n\
+                             .as_object()\n\
+                             .ok_or_else(|| serde::Error::expected({name:?}, value))?;\n\
+                         Ok({name} {{ {extracts} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     value.as_object()\n\
+                         .map(|_| {name})\n\
+                         .ok_or_else(|| serde::Error::expected({name:?}, value))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let s = value\n\
+                             .as_str()\n\
+                             .ok_or_else(|| serde::Error::expected({name:?}, value))?;\n\
+                         match s {{\n\
+                             {arms}\
+                             other => Err(serde::Error::custom(format!(\n\
+                                 \"unknown variant `{{other}}` of {name}\"\n\
+                             ))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -153,10 +153,7 @@ mod tests {
         let image = generate_config(&dfg, &arch, &mapping).unwrap();
         assert_eq!(image.bits_per_entry, 120);
         assert_eq!(image.tiles.len(), 4);
-        assert_eq!(
-            image.total_bits(),
-            u64::from(mapping.ii) * 120 * 4
-        );
+        assert_eq!(image.total_bits(), u64::from(mapping.ii) * 120 * 4);
     }
 
     #[test]

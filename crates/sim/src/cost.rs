@@ -213,7 +213,11 @@ impl CostModel {
         for r in arch.resources() {
             match r.kind {
                 ResourceKind::FuncUnit(caps) => {
-                    let base = if caps.memory { self.alsu_power } else { self.alu_power };
+                    let base = if caps.memory {
+                        self.alsu_power
+                    } else {
+                        self.alu_power
+                    };
                     p.compute += base * compute_scale;
                 }
                 ResourceKind::Switch { .. } => {
@@ -224,7 +228,11 @@ impl CostModel {
                             .get(r.tile)
                             .map(|c| c.hardwired.is_some())
                             .unwrap_or(false);
-                        let scale = if tile_hardwired { self.hardwired_router_scale } else { 1.0 };
+                        let scale = if tile_hardwired {
+                            self.hardwired_router_scale
+                        } else {
+                            1.0
+                        };
                         p.local_routers += self.local_router_power * scale;
                     } else if name.contains(".global") {
                         p.global_routers += self.global_router_power;
@@ -265,7 +273,11 @@ impl CostModel {
         for r in arch.resources() {
             match r.kind {
                 ResourceKind::FuncUnit(caps) => {
-                    let base = if caps.memory { self.alsu_area } else { self.alu_area };
+                    let base = if caps.memory {
+                        self.alsu_area
+                    } else {
+                        self.alu_area
+                    };
                     a.compute += base * compute_scale;
                 }
                 ResourceKind::Switch { .. } => {
@@ -276,7 +288,11 @@ impl CostModel {
                             .get(r.tile)
                             .map(|c| c.hardwired.is_some())
                             .unwrap_or(false);
-                        let scale = if tile_hardwired { self.hardwired_router_scale } else { 1.0 };
+                        let scale = if tile_hardwired {
+                            self.hardwired_router_scale
+                        } else {
+                            1.0
+                        };
                         a.local_routers += self.local_router_area * scale;
                     } else if name.contains(".global") {
                         a.global_routers += self.global_router_area;
@@ -319,7 +335,7 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plaid_arch::{plaid, spatial, specialize, spatio_temporal};
+    use plaid_arch::{plaid, spatial, spatio_temporal, specialize};
 
     fn model() -> CostModel {
         CostModel::default()
@@ -338,7 +354,12 @@ mod tests {
         let p = model().fabric_power(&st);
         assert_near(p.share(p.routers()), 0.15, 0.05, "router share");
         assert_near(p.share(p.comm_config), 0.29, 0.06, "comm config share");
-        assert_near(p.share(p.compute_config), 0.19, 0.06, "compute config share");
+        assert_near(
+            p.share(p.compute_config),
+            0.19,
+            0.06,
+            "compute config share",
+        );
         assert_near(p.share(p.compute), 0.28, 0.06, "compute share");
         assert_near(p.share(p.others), 0.09, 0.05, "others share");
     }
@@ -358,7 +379,12 @@ mod tests {
         let a = model().fabric_area(&pl);
         assert_near(a.share(a.local_routers), 0.09, 0.04, "local router share");
         assert_near(a.share(a.global_routers), 0.30, 0.06, "global router share");
-        assert_near(a.share(a.compute_config), 0.24, 0.06, "compute config share");
+        assert_near(
+            a.share(a.compute_config),
+            0.24,
+            0.06,
+            "compute config share",
+        );
         assert_near(a.share(a.comm_config), 0.21, 0.06, "comm config share");
         assert_near(a.share(a.compute), 0.11, 0.05, "compute share");
         assert_near(a.share(a.others), 0.05, 0.04, "others share");
@@ -435,7 +461,11 @@ mod tests {
     #[test]
     fn breakdown_shares_sum_to_one() {
         let m = model();
-        for arch in [spatio_temporal::build(4, 4), plaid::build(2, 2), spatial::build(4, 4)] {
+        for arch in [
+            spatio_temporal::build(4, 4),
+            plaid::build(2, 2),
+            spatial::build(4, 4),
+        ] {
             let p = m.fabric_power(&arch);
             let total_share = p.share(p.local_routers)
                 + p.share(p.global_routers)

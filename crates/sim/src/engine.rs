@@ -75,7 +75,7 @@ pub fn execute_mapping(
 mod tests {
     use super::*;
     use plaid_arch::{plaid, spatio_temporal};
-    use plaid_dfg::kernel::{AffineExpr, Expr, KernelBuilder, Kernel};
+    use plaid_dfg::kernel::{AffineExpr, Expr, Kernel, KernelBuilder};
     use plaid_dfg::lower::{lower_kernel, LoweringOptions};
     use plaid_dfg::Op;
     use plaid_mapper::{Mapper, PlaidMapper, SaMapper};

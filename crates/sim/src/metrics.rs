@@ -1,11 +1,12 @@
 //! Combined evaluation metrics used by every experiment.
 
 use plaid_arch::Architecture;
+use serde::{Deserialize, Serialize};
 
 use crate::cost::{CostModel, CLOCK_HZ};
 
 /// Evaluation record for one (kernel, architecture) pair.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalMetrics {
     /// Kernel name.
     pub kernel: String,

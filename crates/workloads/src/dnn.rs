@@ -99,7 +99,11 @@ mod tests {
                 .iter()
                 .filter(|l| l.kernel.name.contains("conv"))
                 .count();
-            assert!(conv_like * 2 >= app.layer_count(), "{} not conv-dominated", app.name);
+            assert!(
+                conv_like * 2 >= app.layer_count(),
+                "{} not conv-dominated",
+                app.name
+            );
             // Final layer is the fully-connected classifier.
             assert_eq!(app.layers.last().unwrap().kernel.name, "fc");
         }

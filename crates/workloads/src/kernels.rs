@@ -130,7 +130,11 @@ pub fn gemm() -> Kernel {
             Op::Add,
             Expr::binary(
                 Op::Mul,
-                Expr::binary(Op::Mul, Expr::load("A", idx2(0, 2, N as i64)), Expr::Const(3)),
+                Expr::binary(
+                    Op::Mul,
+                    Expr::load("A", idx2(0, 2, N as i64)),
+                    Expr::Const(3),
+                ),
                 Expr::load("B", idx2(2, 1, N as i64)),
             ),
         )
@@ -167,7 +171,11 @@ pub fn gemver() -> Kernel {
             Op::Add,
             Expr::binary(
                 Op::Mul,
-                Expr::binary(Op::Mul, Expr::load("A", idx2(1, 0, N as i64)), Expr::Const(2)),
+                Expr::binary(
+                    Op::Mul,
+                    Expr::load("A", idx2(1, 0, N as i64)),
+                    Expr::Const(2),
+                ),
                 Expr::load("y", av(1)),
             ),
         )
@@ -516,7 +524,9 @@ mod tests {
     #[test]
     fn all_kernels_validate_and_lower() {
         for kernel in all_kernels() {
-            kernel.validate().unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            kernel
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
             let dfg = lower_kernel(&kernel, &LoweringOptions::default())
                 .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
             assert!(dfg.node_count() >= 5, "{} suspiciously small", kernel.name);
@@ -566,10 +576,22 @@ mod tests {
         // dwconv is tiny (~7 nodes / ~3 compute). Allow generous bands: the
         // exact front-end differs, the structure should not.
         let c22 = lower_kernel(&conv2x2(), &LoweringOptions::default()).unwrap();
-        assert!((12..=26).contains(&c22.node_count()), "conv2x2 {} nodes", c22.node_count());
+        assert!(
+            (12..=26).contains(&c22.node_count()),
+            "conv2x2 {} nodes",
+            c22.node_count()
+        );
         let c33 = lower_kernel(&conv3x3(), &LoweringOptions::default()).unwrap();
-        assert!((26..=48).contains(&c33.node_count()), "conv3x3 {} nodes", c33.node_count());
+        assert!(
+            (26..=48).contains(&c33.node_count()),
+            "conv3x3 {} nodes",
+            c33.node_count()
+        );
         let dw = lower_kernel(&dwconv(), &LoweringOptions::default()).unwrap();
-        assert!((5..=10).contains(&dw.node_count()), "dwconv {} nodes", dw.node_count());
+        assert!(
+            (5..=10).contains(&dw.node_count()),
+            "dwconv {} nodes",
+            dw.node_count()
+        );
     }
 }

@@ -17,4 +17,4 @@ pub mod kernels;
 pub mod registry;
 
 pub use dnn::{dnn_applications, DnnApplication, DnnLayer};
-pub use registry::{table2_workloads, Domain, Workload};
+pub use registry::{find_workload, table2_workloads, Domain, Workload, WorkloadDescriptor};

@@ -7,7 +7,7 @@ use plaid_dfg::{Dfg, DfgError};
 use crate::kernels;
 
 /// Application domain of a workload (the three groups of Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Domain {
     /// PolyBench linear-algebra kernels.
     LinearAlgebra,
@@ -69,6 +69,39 @@ impl Workload {
     pub fn iterations(&self) -> u64 {
         self.kernel.total_iterations() / self.unroll.max(1)
     }
+
+    /// The serializable descriptor of this workload.
+    pub fn descriptor(&self) -> WorkloadDescriptor {
+        WorkloadDescriptor {
+            name: self.name.clone(),
+            domain: self.domain,
+            kernel: self.kernel.name.clone(),
+            unroll: self.unroll,
+            iterations: self.iterations(),
+        }
+    }
+}
+
+/// Serializable identity of a workload: everything needed to name a sweep
+/// point and re-resolve the workload from the registry, without embedding the
+/// kernel IR itself.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadDescriptor {
+    /// Display name, e.g. `atax_u2`.
+    pub name: String,
+    /// Domain group.
+    pub domain: Domain,
+    /// Rolled kernel name, e.g. `atax`.
+    pub kernel: String,
+    /// Unroll factor applied to the innermost loop.
+    pub unroll: u64,
+    /// Total loop iterations of the (unrolled) kernel.
+    pub iterations: u64,
+}
+
+/// Resolves a registry workload by display name (e.g. `gemm_u4`).
+pub fn find_workload(name: &str) -> Option<Workload> {
+    table2_workloads().into_iter().find(|w| w.name == name)
 }
 
 /// The 30 workloads of Table 2: the first six PolyBench linear-algebra

@@ -33,7 +33,10 @@ fn main() {
                 format!("{:.1}", power.total()),
                 format!("{:.0}", area.total()),
                 format!("{:.0}%", power.share(power.routers()) * 100.0),
-                format!("{:.0}%", power.share(power.comm_config + power.compute_config) * 100.0),
+                format!(
+                    "{:.0}%",
+                    power.share(power.comm_config + power.compute_config) * 100.0
+                ),
             ]
         })
         .collect();
@@ -41,7 +44,14 @@ fn main() {
         "{}",
         render_table(
             "Design space: fabric power and area of every modelled architecture",
-            &["architecture", "FUs", "power µW", "area µm²", "router share", "config share"],
+            &[
+                "architecture",
+                "FUs",
+                "power µW",
+                "area µm²",
+                "router share",
+                "config share"
+            ],
             &rows,
         )
     );

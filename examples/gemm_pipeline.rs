@@ -6,14 +6,15 @@
 
 use plaid::pipeline::{compile_workload, ArchChoice, MapperChoice};
 use plaid::report::render_table;
-use plaid_workloads::table2_workloads;
+use plaid_workloads::find_workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let requested = std::env::args().nth(1).unwrap_or_else(|| "gemm_u2".to_string());
-    let workload = table2_workloads()
-        .into_iter()
-        .find(|w| w.name == requested)
-        .ok_or_else(|| format!("unknown workload {requested}; see plaid_workloads::table2_workloads()"))?;
+    let requested = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gemm_u2".to_string());
+    let workload = find_workload(&requested).ok_or_else(|| {
+        format!("unknown workload {requested}; see plaid_workloads::table2_workloads()")
+    })?;
 
     let configs = [
         (ArchChoice::SpatioTemporal4x4, MapperChoice::Sa),
@@ -43,7 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         render_table(
             &format!("{} across architectures", workload.name),
-            &["architecture", "mapper", "II", "cycles", "norm cycles", "power µW", "energy nJ", "area µm²"],
+            &[
+                "architecture",
+                "mapper",
+                "II",
+                "cycles",
+                "norm cycles",
+                "power µW",
+                "energy nJ",
+                "area µm²"
+            ],
             &rows,
         )
     );

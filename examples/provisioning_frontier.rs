@@ -1,0 +1,111 @@
+//! Reproduces the paper's aligned-versus-misaligned provisioning comparison
+//! as a Pareto-frontier table.
+//!
+//! The experiment fixes the *compute* provisioning at 16 functional units —
+//! a 4×4 spatio-temporal CGRA, a 4×4 spatial CGRA and a 2×2 Plaid PCU array
+//! all provision exactly 16 FUs — and sweeps the *communication* provisioning
+//! (lean / aligned / rich) for each class. If the paper's thesis holds, the
+//! frontier should be populated by aligned points: under-provisioned networks
+//! fail to route or stretch the initiation interval, while over-provisioned
+//! networks pay area and energy for selects they never use.
+//!
+//! Run with `cargo run --release --example provisioning_frontier`.
+
+use plaid_arch::{ArchClass, CommLevel, SpaceSpec};
+use plaid_explore::{run_sweep, FrontierReport, ResultCache, SweepPlan};
+use plaid_workloads::find_workload;
+
+fn main() {
+    // The three classes at matched 16-FU compute provisioning: baselines are
+    // 4x4 PE arrays; Plaid packs 4 FUs per PCU, so 2x2.
+    let spec = |class: ArchClass, dims: (u32, u32)| SpaceSpec {
+        classes: vec![class],
+        dims: vec![dims],
+        config_entries: vec![16],
+        comm_levels: CommLevel::ALL.to_vec(),
+    };
+    let workloads: Vec<_> = ["atax_u2", "gemm_u2", "dwconv", "fc", "jacobi_u2"]
+        .iter()
+        .map(|name| find_workload(name).expect("registry workload"))
+        .collect();
+
+    let mut designs = Vec::new();
+    designs.extend(spec(ArchClass::SpatioTemporal, (4, 4)).enumerate());
+    designs.extend(spec(ArchClass::Spatial, (4, 4)).enumerate());
+    designs.extend(spec(ArchClass::Plaid, (2, 2)).enumerate());
+
+    // Build the plan by hand (one mapper per class default) so all three
+    // classes share one sweep and one cache.
+    let mut plan = SweepPlan::default();
+    for workload in &workloads {
+        for &design in &designs {
+            plan.points.push(plaid_explore::SweepPoint {
+                workload: workload.clone(),
+                design,
+                mapper: plaid_explore::default_mapper_for_class(design.class),
+            });
+        }
+    }
+
+    let cache = ResultCache::new();
+    let outcome = run_sweep(&plan, &cache);
+    println!(
+        "evaluated {} points at matched 16-FU compute provisioning ({} infeasible)\n",
+        outcome.stats.points, outcome.stats.failures
+    );
+
+    let frontier = FrontierReport::from_records(&outcome.records);
+    print!("{}", frontier.render());
+
+    // Verdict: how often does each communication level reach the frontier?
+    let mut survivors = std::collections::BTreeMap::new();
+    let mut feasible = std::collections::BTreeMap::new();
+    for record in outcome.records.iter().filter(|r| r.ok) {
+        *feasible
+            .entry((record.design.class, record.design.comm))
+            .or_insert(0u32) += 1;
+    }
+    for f in &frontier.frontiers {
+        for point in &f.points {
+            *survivors
+                .entry((point.design.class, point.design.comm))
+                .or_insert(0u32) += 1;
+        }
+    }
+    println!("frontier appearances by (class, communication level):");
+    for (&(class, comm), &n) in &survivors {
+        let total = feasible.get(&(class, comm)).copied().unwrap_or(0);
+        println!(
+            "  {:16} {:8} {n:2} frontier points (of {total} feasible)",
+            class.label(),
+            comm.label()
+        );
+    }
+
+    // The paper's alignment claim, restated over this sweep: at matched
+    // compute provisioning, the spatio-temporal baseline spends roughly half
+    // its configuration encoding on per-PE crossbars — communication
+    // provisioning that outruns its single ALU per tile — so its points
+    // should be dominated by the hierarchical Plaid fabric, which amortizes
+    // routing over four FUs per PCU.
+    let class_hits = |class: ArchClass| {
+        survivors
+            .iter()
+            .filter(|((c, _), _)| *c == class)
+            .map(|(_, n)| n)
+            .sum::<u32>()
+    };
+    println!(
+        "\nclass totals: spatio-temporal {} / spatial {} / plaid {} of {} frontier points",
+        class_hits(ArchClass::SpatioTemporal),
+        class_hits(ArchClass::Spatial),
+        class_hits(ArchClass::Plaid),
+        frontier.frontier_size()
+    );
+    if class_hits(ArchClass::Plaid) > class_hits(ArchClass::SpatioTemporal) {
+        println!(
+            "=> aligned provisioning wins: the communication-heavy spatio-temporal \
+             points are dominated at matched compute"
+        );
+    }
+}

@@ -3,16 +3,17 @@
 //! Run with `cargo run --example quickstart`.
 
 use plaid::pipeline::{compile_workload, ArchChoice, MapperChoice};
-use plaid_workloads::table2_workloads;
+use plaid_workloads::find_workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pick the paper's running example family: a linear-algebra kernel.
-    let workload = table2_workloads()
-        .into_iter()
-        .find(|w| w.name == "gemm_u2")
-        .expect("gemm_u2 is registered");
+    let workload = find_workload("gemm_u2").expect("gemm_u2 is registered");
 
-    println!("kernel: {} ({} loop iterations)", workload.name, workload.iterations());
+    println!(
+        "kernel: {} ({} loop iterations)",
+        workload.name,
+        workload.iterations()
+    );
 
     let result = compile_workload(&workload, ArchChoice::Plaid2x2, MapperChoice::Plaid)?;
 

@@ -10,6 +10,7 @@
 pub use plaid;
 pub use plaid_arch;
 pub use plaid_dfg;
+pub use plaid_explore;
 pub use plaid_mapper;
 pub use plaid_motif;
 pub use plaid_sim;

@@ -1,0 +1,214 @@
+//! Cross-crate integration tests of the design-space exploration subsystem:
+//! Pareto-frontier invariants, cache behaviour and JSON round-tripping.
+
+use plaid::pipeline::{compile_workload, ArchChoice, CompileSummary, MapperChoice};
+use plaid_arch::{ArchClass, CommLevel, DesignPoint, SpaceSpec};
+use plaid_explore::{
+    run_sweep, EvalRecord, FrontierReport, Objectives, ResultCache, SweepOutcome, SweepPlan,
+};
+use plaid_workloads::find_workload;
+
+fn small_plan() -> SweepPlan {
+    let spec = SpaceSpec {
+        classes: vec![ArchClass::SpatioTemporal, ArchClass::Plaid],
+        dims: vec![(2, 2)],
+        config_entries: vec![8, 16],
+        comm_levels: CommLevel::ALL.to_vec(),
+    };
+    let workloads = vec![
+        find_workload("dwconv").unwrap(),
+        find_workload("atax_u2").unwrap(),
+    ];
+    SweepPlan::cross(&workloads, &spec)
+}
+
+#[test]
+fn no_dominated_point_survives_the_frontier() {
+    let cache = ResultCache::new();
+    let outcome = run_sweep(&small_plan(), &cache);
+    let report = FrontierReport::from_records(&outcome.records);
+    assert!(!report.frontiers.is_empty());
+    for frontier in &report.frontiers {
+        assert!(
+            !frontier.points.is_empty(),
+            "{} has an empty frontier",
+            frontier.workload
+        );
+        // Frontier points must be mutually non-dominated, and no evaluated
+        // point of the same workload may dominate any of them.
+        let candidates: Vec<&EvalRecord> = outcome
+            .records
+            .iter()
+            .filter(|r| r.ok && r.workload.name == frontier.workload)
+            .collect();
+        for point in &frontier.points {
+            let obj = point.objectives().unwrap();
+            for other in &candidates {
+                let other_obj = other.objectives().unwrap();
+                assert!(
+                    !other_obj.dominates(&obj),
+                    "{}: frontier point {} dominated by {}",
+                    frontier.workload,
+                    point.arch,
+                    other.arch
+                );
+            }
+        }
+        // And every non-frontier evaluated point is dominated by some
+        // frontier point (otherwise it should have survived).
+        for candidate in &candidates {
+            let on_frontier = frontier
+                .points
+                .iter()
+                .any(|p| p.arch == candidate.arch && p.mapper == candidate.mapper);
+            if !on_frontier {
+                let obj = candidate.objectives().unwrap();
+                assert!(
+                    frontier
+                        .points
+                        .iter()
+                        .any(|p| p.objectives().unwrap().dominates(&obj)),
+                    "{}: non-frontier point {} is not dominated",
+                    frontier.workload,
+                    candidate.arch
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn frontier_extraction_is_deterministic() {
+    let cache = ResultCache::new();
+    let outcome = run_sweep(&small_plan(), &cache);
+    let a = FrontierReport::from_records(&outcome.records);
+    let b = FrontierReport::from_records(&outcome.records);
+    assert_eq!(a, b);
+    // Shuffled record order produces the identical report.
+    let mut reversed = outcome.records.clone();
+    reversed.reverse();
+    let c = FrontierReport::from_records(&reversed);
+    assert_eq!(a, c, "frontier depends on record order");
+    // And serialization is byte-stable.
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&c).unwrap()
+    );
+}
+
+#[test]
+fn repeated_sweep_recompiles_nothing() {
+    let plan = small_plan();
+    let cache = ResultCache::new();
+    let cold = run_sweep(&plan, &cache);
+    assert_eq!(cold.stats.compiled, plan.len());
+    assert_eq!(cold.stats.cache_hits, 0);
+
+    let warm = run_sweep(&plan, &cache);
+    assert_eq!(
+        warm.stats.compiled, 0,
+        "second identical sweep must not recompile"
+    );
+    assert_eq!(warm.stats.cache_hits, plan.len());
+    assert!(
+        (warm.stats.hit_rate() - 1.0).abs() < 1e-12,
+        "hit rate must be 100%"
+    );
+    assert_eq!(warm.records, cold.records);
+}
+
+#[test]
+fn persisted_cache_survives_process_boundaries() {
+    let plan = small_plan();
+    let dir = std::env::temp_dir().join("plaid-dse-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.json");
+    std::fs::remove_file(&path).ok();
+
+    let cache = ResultCache::new();
+    let cold = run_sweep(&plan, &cache);
+    cache.save(&path).unwrap();
+
+    // A fresh cache loaded from disk serves the whole sweep.
+    let reloaded = ResultCache::load(&path).unwrap();
+    assert_eq!(reloaded.len(), plan.len());
+    let warm = run_sweep(&plan, &reloaded);
+    assert_eq!(warm.stats.compiled, 0);
+    assert_eq!(warm.records, cold.records);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sweep_outcome_round_trips_through_json() {
+    let spec = SpaceSpec {
+        classes: vec![ArchClass::Plaid],
+        dims: vec![(2, 2)],
+        config_entries: vec![16],
+        comm_levels: vec![CommLevel::Aligned, CommLevel::Lean],
+    };
+    let plan = SweepPlan::cross(&[find_workload("dwconv").unwrap()], &spec);
+    let cache = ResultCache::new();
+    let outcome = run_sweep(&plan, &cache);
+
+    let json = serde_json::to_string_pretty(&outcome).unwrap();
+    let back: SweepOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, outcome);
+
+    let report = FrontierReport::from_records(&outcome.records);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: FrontierReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn compile_summary_round_trips_through_json() {
+    let w = find_workload("dwconv").unwrap();
+    let compiled = compile_workload(&w, ArchChoice::Plaid2x2, MapperChoice::Plaid).unwrap();
+    let summary = compiled.summary();
+    let json = serde_json::to_string(&summary).unwrap();
+    let back: CompileSummary = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, summary);
+    assert_eq!(back.metrics.cycles, compiled.metrics.cycles);
+    assert_eq!(back.coverage.total_nodes, compiled.coverage.total_nodes);
+}
+
+#[test]
+fn design_points_and_params_round_trip_through_json() {
+    for point in SpaceSpec::default_grid().enumerate() {
+        let json = serde_json::to_string(&point).unwrap();
+        let back: DesignPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, point);
+        let params_json = serde_json::to_string(&point.params()).unwrap();
+        let params: plaid_arch::ArchParams = serde_json::from_str(&params_json).unwrap();
+        assert_eq!(params, point.params());
+    }
+}
+
+#[test]
+fn objectives_dominance_matches_frontier_membership() {
+    // Hand-constructed objective vectors with a known frontier.
+    let objs = [
+        Objectives {
+            cycles: 100,
+            area_um2: 50.0,
+            energy_nj: 10.0,
+        },
+        Objectives {
+            cycles: 100,
+            area_um2: 50.0,
+            energy_nj: 12.0,
+        }, // dominated
+        Objectives {
+            cycles: 80,
+            area_um2: 70.0,
+            energy_nj: 9.0,
+        },
+        Objectives {
+            cycles: 120,
+            area_um2: 40.0,
+            energy_nj: 11.0,
+        },
+    ];
+    let keep = plaid_explore::pareto_indices(&objs);
+    assert_eq!(keep, vec![0, 2, 3]);
+}

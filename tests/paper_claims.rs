@@ -15,8 +15,14 @@ fn plaid_reduces_power_and_area_versus_the_spatio_temporal_baseline() {
     let power_reduction = 1.0 - model.fabric_power(&pl).total() / model.fabric_power(&st).total();
     let area_reduction = 1.0 - model.fabric_area(&pl).total() / model.fabric_area(&st).total();
     // Paper: 43% power and 46% area reduction.
-    assert!((0.30..=0.60).contains(&power_reduction), "power reduction {power_reduction}");
-    assert!((0.30..=0.60).contains(&area_reduction), "area reduction {area_reduction}");
+    assert!(
+        (0.30..=0.60).contains(&power_reduction),
+        "power reduction {power_reduction}"
+    );
+    assert!(
+        (0.30..=0.60).contains(&area_reduction),
+        "area reduction {area_reduction}"
+    );
 }
 
 #[test]
@@ -26,9 +32,15 @@ fn plaid_saves_area_versus_the_spatial_baseline_at_similar_power() {
     let pl = plaid_fabric::build(2, 2);
     let area_reduction = 1.0 - model.fabric_area(&pl).total() / model.fabric_area(&sp).total();
     // Paper: 48% area savings with almost the same power.
-    assert!((0.30..=0.60).contains(&area_reduction), "area reduction {area_reduction}");
+    assert!(
+        (0.30..=0.60).contains(&area_reduction),
+        "area reduction {area_reduction}"
+    );
     let power_ratio = model.fabric_power(&pl).total() / model.fabric_power(&sp).total();
-    assert!((0.75..=1.15).contains(&power_ratio), "power ratio {power_ratio}");
+    assert!(
+        (0.75..=1.15).contains(&power_ratio),
+        "power ratio {power_ratio}"
+    );
 }
 
 #[test]
@@ -43,11 +55,17 @@ fn plaid_tracks_spatio_temporal_performance_and_beats_spatial() {
     let plaid_vs_st = result.plaid_vs_st_cycles();
     // Paper: average performance is almost the same (Plaid within a few
     // percent of the baseline); allow a wide band.
-    assert!(plaid_vs_st <= 1.35, "plaid vs spatio-temporal cycles {plaid_vs_st}");
+    assert!(
+        plaid_vs_st <= 1.35,
+        "plaid vs spatio-temporal cycles {plaid_vs_st}"
+    );
     // Paper: 1.4x faster than the spatial baseline on average; require Plaid
     // to be at least as fast.
     let spatial_vs_plaid = result.spatial_vs_plaid_cycles();
-    assert!(spatial_vs_plaid >= 1.0, "spatial vs plaid cycles {spatial_vs_plaid}");
+    assert!(
+        spatial_vs_plaid >= 1.0,
+        "spatial vs plaid cycles {spatial_vs_plaid}"
+    );
     // Paper: 42% energy reduction vs the spatio-temporal baseline.
     let energy = result.plaid_vs_st_energy();
     assert!(energy <= 0.85, "plaid vs spatio-temporal energy {energy}");

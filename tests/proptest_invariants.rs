@@ -28,7 +28,8 @@ fn arbitrary_dfg() -> impl Strategy<Value = Dfg> {
             let op = ops[(next() % ops.len() as u64) as usize];
             let node = dfg.add_compute_node(format!("c{i}"), op);
             let lhs = previous[(next() % previous.len() as u64) as usize];
-            dfg.add_edge(lhs, node, Operand::Lhs, EdgeKind::Data).unwrap();
+            dfg.add_edge(lhs, node, Operand::Lhs, EdgeKind::Data)
+                .unwrap();
             if next() % 2 == 0 && previous.len() > 1 {
                 let rhs = previous[(next() % previous.len() as u64) as usize];
                 if dfg
@@ -44,8 +45,13 @@ fn arbitrary_dfg() -> impl Strategy<Value = Dfg> {
             all_compute.push(node);
         }
         let store = dfg.add_store("st", "y", AffineExpr::var(0));
-        dfg.add_edge(*previous.last().unwrap(), store, Operand::Lhs, EdgeKind::Data)
-            .unwrap();
+        dfg.add_edge(
+            *previous.last().unwrap(),
+            store,
+            Operand::Lhs,
+            EdgeKind::Data,
+        )
+        .unwrap();
         dfg
     })
 }
