@@ -5,7 +5,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use plaid_arch::SpaceSpec;
-use plaid_explore::{run_sweep, FrontierReport, ResultCache, SweepPlan};
+use plaid_explore::{
+    run_sweep, run_sweep_with, FrontierReport, ResultCache, SeedPolicy, SweepPlan,
+};
 use plaid_workloads::find_workload;
 
 fn bench(c: &mut Criterion) {
@@ -33,9 +35,11 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1));
     group.bench_function("cold_sweep_smoke_grid", |b| {
+        // Pinned to SeedPolicy::Off so this keeps measuring the from-scratch
+        // sweep; the seeded_sweep bench covers the warm-start path.
         b.iter(|| {
             let cold = ResultCache::new();
-            run_sweep(&plan, &cold)
+            run_sweep_with(&plan, &cold, SeedPolicy::Off)
         })
     });
     group.bench_function("warm_sweep_smoke_grid", |b| {

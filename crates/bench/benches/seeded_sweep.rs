@@ -1,0 +1,77 @@
+//! Warm-start sweep throughput: the frontier-guided seeding layer versus a
+//! cold sweep that maps every provisioning point from scratch.
+//!
+//! The headline run reproduces the acceptance measurement once per
+//! invocation — the default 216-point sweep (rep8 workloads × default grid)
+//! under `SeedPolicy::Off` and `SeedPolicy::Exact` — and prints the
+//! wall-clock reduction together with a bit-identity check of the two
+//! frontier reports (exact seeding must not change results). The iterated
+//! benchmarks then time the two policies on the smoke grid.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaid_arch::SpaceSpec;
+use plaid_explore::{run_sweep_with, FrontierReport, ResultCache, SeedPolicy, SweepPlan};
+use plaid_workloads::{find_workload, table2_workloads};
+
+fn headline(plan: &SweepPlan) {
+    let start = Instant::now();
+    let cold = run_sweep_with(plan, &ResultCache::new(), SeedPolicy::Off);
+    let cold_ms = start.elapsed().as_millis();
+
+    let start = Instant::now();
+    let seeded = run_sweep_with(plan, &ResultCache::new(), SeedPolicy::Exact);
+    let seeded_ms = start.elapsed().as_millis();
+
+    let cold_frontier = serde_json::to_string(&FrontierReport::from_records(&cold.records))
+        .expect("frontier serializes");
+    let seeded_frontier = serde_json::to_string(&FrontierReport::from_records(&seeded.records))
+        .expect("frontier serializes");
+    assert_eq!(
+        cold_frontier, seeded_frontier,
+        "exact seeding must preserve the frontier bit-for-bit"
+    );
+
+    let reduction = 100.0 * (1.0 - seeded_ms as f64 / cold_ms.max(1) as f64);
+    println!(
+        "seeded sweep headline: {} points — cold {} ms, seeded {} ms ({reduction:.1}% \
+         wall-clock reduction), {} seeded points, {} seed hits, frontiers bit-identical\n",
+        plan.len(),
+        cold_ms,
+        seeded_ms,
+        seeded.stats.seeded,
+        seeded.stats.seed_hits,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    // The acceptance-criterion sweep: every 8th registry workload crossed
+    // with the default provisioning grid (216 points), as `plaid-dse` runs
+    // by default. Once per invocation — it costs tens of seconds.
+    let rep8: Vec<_> = table2_workloads().into_iter().step_by(8).collect();
+    let default_plan = SweepPlan::cross(&rep8, &SpaceSpec::default_grid());
+    headline(&default_plan);
+
+    let workloads = vec![
+        find_workload("dwconv").expect("registry workload"),
+        find_workload("atax_u2").expect("registry workload"),
+    ];
+    let smoke_plan = SweepPlan::cross(&workloads, &SpaceSpec::smoke_grid());
+
+    let mut group = c.benchmark_group("seeded_sweep");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
+    group.bench_function("cold_smoke_grid", |b| {
+        b.iter(|| run_sweep_with(&smoke_plan, &ResultCache::new(), SeedPolicy::Off))
+    });
+    group.bench_function("seeded_smoke_grid", |b| {
+        b.iter(|| run_sweep_with(&smoke_plan, &ResultCache::new(), SeedPolicy::Exact))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

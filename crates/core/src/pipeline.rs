@@ -5,9 +5,12 @@ use std::fmt;
 
 use plaid_arch::{plaid, spatial, spatio_temporal, specialize, Architecture};
 use plaid_dfg::Dfg;
+pub use plaid_mapper::{
+    dfg_fingerprint, fabric_signature, fabric_signature_nocap, InfeasiblePrefix, MapSeed,
+    PlacementSeed, SeedOutcome, SeededMapping,
+};
 use plaid_mapper::{
-    MapError, Mapper, Mapping, PathFinderMapper, PlaidMapper, SaMapper, SpatialMapper,
-    SpatialSchedule,
+    MapError, Mapping, PathFinderMapper, PlaidMapper, SaMapper, SpatialMapper, SpatialSchedule,
 };
 use plaid_motif::{coverage, identify_motifs, CoverageStats, IdentifyOptions};
 use plaid_sim::config::{generate_config, ConfigImage};
@@ -139,6 +142,11 @@ pub struct CompiledWorkload {
     pub config: Option<ConfigImage>,
     /// Evaluation metrics.
     pub metrics: EvalMetrics,
+    /// Placement seed captured from the mapping (absent for spatial
+    /// execution), reusable to warm-start neighbouring design points.
+    pub placement_seed: Option<PlacementSeed>,
+    /// How warm-start seeding contributed to this compilation.
+    pub seed_outcome: SeedOutcome,
 }
 
 impl CompiledWorkload {
@@ -154,6 +162,7 @@ impl CompiledWorkload {
             name: self.name.clone(),
             coverage: self.coverage.clone(),
             metrics: self.metrics.clone(),
+            seed: self.placement_seed.clone(),
         }
     }
 }
@@ -168,6 +177,10 @@ pub struct CompileSummary {
     pub coverage: CoverageStats,
     /// Evaluation metrics (cycles, power, energy, area).
     pub metrics: EvalMetrics,
+    /// Placement seed for warm-starting neighbouring design points (absent
+    /// for spatial execution and in records persisted before seeding
+    /// existed).
+    pub seed: Option<PlacementSeed>,
 }
 
 /// Compiles `workload` for `arch_choice` with `mapper_choice` and evaluates it
@@ -202,6 +215,27 @@ pub fn compile_workload_on(
     arch: &Architecture,
     mapper_choice: MapperChoice,
 ) -> Result<CompiledWorkload, PipelineError> {
+    compile_workload_on_seeded(workload, arch, mapper_choice, None)
+}
+
+/// Like [`compile_workload_on`], but threads an optional warm-start hint
+/// into the mapper: a canonical seed from a structurally identical fabric
+/// replays exactly, a proven-infeasible ladder prefix is skipped, and a
+/// foreign-fabric seed warm-starts the search heuristically. The produced
+/// [`CompiledWorkload`] carries its own [`PlacementSeed`] (via
+/// [`CompiledWorkload::summary`]) so sweeps can chain seeds across
+/// neighbouring design points.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if lowering, mapping or configuration
+/// generation fails.
+pub fn compile_workload_on_seeded(
+    workload: &Workload,
+    arch: &Architecture,
+    mapper_choice: MapperChoice,
+    hint: Option<&MapSeed>,
+) -> Result<CompiledWorkload, PipelineError> {
     let model = CostModel::default();
     let dfg = workload.lower()?;
     let hdfg = identify_motifs(&dfg, &IdentifyOptions::default());
@@ -230,16 +264,22 @@ pub fn compile_workload_on(
             spatial: Some(schedule),
             config: None,
             metrics,
+            placement_seed: None,
+            seed_outcome: SeedOutcome::Scratch,
         });
     }
 
-    let mapper: Box<dyn Mapper> = match mapper_choice {
-        MapperChoice::Sa => Box::new(SaMapper::default()),
-        MapperChoice::PathFinder => Box::new(PathFinderMapper::default()),
-        MapperChoice::Plaid => Box::new(PlaidMapper::default()),
+    let seeded = match mapper_choice {
+        MapperChoice::Sa => SaMapper::default().map_with_seed(&dfg, arch, hint),
+        MapperChoice::PathFinder => PathFinderMapper::default().map_with_seed(&dfg, arch, hint),
+        MapperChoice::Plaid => PlaidMapper::default().map_with_seed(&dfg, arch, hint),
         MapperChoice::Spatial => unreachable!("handled above"),
-    };
-    let mapping = mapper.map(&dfg, arch)?;
+    }?;
+    let SeededMapping {
+        mapping,
+        outcome,
+        seed,
+    } = seeded;
     let config = generate_config(&dfg, arch, &mapping).map_err(PipelineError::Config)?;
     let cycles = mapping.total_cycles(iterations);
     let metrics = EvalMetrics::from_cycles(
@@ -258,6 +298,8 @@ pub fn compile_workload_on(
         spatial: None,
         config: Some(config),
         metrics,
+        placement_seed: Some(seed),
+        seed_outcome: outcome,
     })
 }
 

@@ -12,13 +12,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use plaid_arch::{ArchClass, CommLevel, SpaceSpec};
-use plaid_explore::{run_sweep, FrontierReport, ResultCache, SweepPlan};
+use plaid_explore::{run_sweep_with, FrontierReport, ResultCache, SeedPolicy, SweepPlan};
 use plaid_workloads::{table2_workloads, Workload};
 
 struct Options {
     grid: SpaceSpec,
     workloads: Vec<Workload>,
     passes: u32,
+    seed_policy: SeedPolicy,
     cache_path: Option<PathBuf>,
     out_path: Option<PathBuf>,
     frontier_path: Option<PathBuf>,
@@ -38,6 +39,12 @@ OPTIONS:
                                   [default: rep8 — 4 workloads spanning domains]
     --passes <N>                  Sweep passes over the same plan [default: 2,
                                   demonstrating cold vs. cached performance]
+    --seed <off|exact|aggressive> Warm-start policy [default: exact — reuse
+                                  placement seeds across neighbouring design
+                                  points whenever results stay bit-identical
+                                  to a cold run]
+    --no-seed                     Disable warm-start seeding (same as
+                                  --seed off); every point maps from scratch
     --cache <FILE>                Load/save the content-addressed result cache
     --out <FILE>                  Write all sweep records as JSON
     --frontier <FILE>             Write the Pareto frontier as JSON
@@ -95,6 +102,7 @@ fn parse_args() -> Result<Option<Options>, String> {
     let mut grid = SpaceSpec::default_grid();
     let mut workloads = parse_workloads("rep8").expect("default workload spec is valid");
     let mut passes = 2u32;
+    let mut seed_policy = SeedPolicy::Exact;
     let mut cache_path = None;
     let mut out_path = None;
     let mut frontier_path = Some(PathBuf::from("dse_frontier.json"));
@@ -118,6 +126,8 @@ fn parse_args() -> Result<Option<Options>, String> {
                     return Err("--passes must be at least 1".into());
                 }
             }
+            "--seed" => seed_policy = SeedPolicy::parse(&value("--seed")?)?,
+            "--no-seed" => seed_policy = SeedPolicy::Off,
             "--cache" => cache_path = Some(PathBuf::from(value("--cache")?)),
             "--out" => out_path = Some(PathBuf::from(value("--out")?)),
             "--frontier" => frontier_path = Some(PathBuf::from(value("--frontier")?)),
@@ -136,6 +146,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         grid,
         workloads,
         passes,
+        seed_policy,
         cache_path,
         out_path,
         frontier_path,
@@ -180,24 +191,28 @@ fn run(options: &Options) -> Result<(), String> {
 
     let plan = SweepPlan::cross(&options.workloads, &options.grid);
     eprintln!(
-        "sweeping {} points ({} workloads x {} architecture points) on {} threads",
+        "sweeping {} points ({} workloads x {} architecture points) on {} threads, seeding {}",
         plan.len(),
         options.workloads.len(),
         options.grid.enumerate().len(),
-        rayon::current_num_threads()
+        rayon::current_num_threads(),
+        options.seed_policy.label(),
     );
 
     let mut last_outcome = None;
     for pass in 1..=options.passes {
-        let outcome = run_sweep(&plan, &cache);
+        let outcome = run_sweep_with(&plan, &cache, options.seed_policy);
         let s = &outcome.stats;
         eprintln!(
-            "pass {pass}: {} points in {} ms — {} compiled, {} cache hits ({:.0}% hit rate), {} infeasible",
+            "pass {pass}: {} points in {} ms — {} compiled, {} cache hits ({:.0}% hit rate), \
+             {} seeded ({} seed hits), {} infeasible",
             s.points,
             s.wall_ms,
             s.compiled,
             s.cache_hits,
             s.hit_rate() * 100.0,
+            s.seeded,
+            s.seed_hits,
             s.failures,
         );
         last_outcome = Some(outcome);

@@ -59,9 +59,14 @@ fn record_matches(record: &EvalRecord, point: &SweepPoint) -> bool {
 }
 
 /// Thread-safe, content-addressed result cache with hit/miss accounting.
+///
+/// Entries are stored in per-key *buckets*: two points whose content hashes
+/// collide on the same 64-bit key coexist in one bucket (each record's full
+/// identity disambiguates them) instead of evicting each other on every
+/// insert.
 #[derive(Debug, Default)]
 pub struct ResultCache {
-    entries: RwLock<HashMap<String, EvalRecord>>,
+    entries: RwLock<HashMap<String, Vec<EvalRecord>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -75,6 +80,10 @@ impl ResultCache {
     /// Loads a cache persisted by [`ResultCache::save`]. A missing file
     /// yields an empty cache; a malformed file is an error.
     ///
+    /// Both the current bucketed format (`key -> [record, ...]`) and the
+    /// legacy single-record format (`key -> record`) are accepted, so cache
+    /// files written before collision buckets existed keep loading.
+    ///
     /// # Errors
     ///
     /// Returns an [`io::Error`] if the file exists but cannot be read or
@@ -84,8 +93,19 @@ impl ResultCache {
             return Ok(Self::new());
         }
         let text = std::fs::read_to_string(path)?;
-        let entries: HashMap<String, EvalRecord> = serde_json::from_str(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let invalid =
+            |e: serde_json::Error| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
+        let raw: HashMap<String, serde_json::Value> =
+            serde_json::from_str(&text).map_err(invalid)?;
+        let mut entries: HashMap<String, Vec<EvalRecord>> = HashMap::with_capacity(raw.len());
+        for (key, value) in raw {
+            let bucket = if value.as_array().is_some() {
+                serde_json::from_value::<Vec<EvalRecord>>(&value).map_err(invalid)?
+            } else {
+                vec![serde_json::from_value::<EvalRecord>(&value).map_err(invalid)?]
+            };
+            entries.insert(key, bucket);
+        }
         Ok(ResultCache {
             entries: RwLock::new(entries),
             hits: AtomicU64::new(0),
@@ -93,27 +113,48 @@ impl ResultCache {
         })
     }
 
-    /// Persists the cache as JSON (object keyed by content hash).
+    /// Persists the cache as JSON (object keyed by content hash, one bucket
+    /// of identity-verified records per key).
+    ///
+    /// The write is atomic: the JSON goes to a temporary file in the same
+    /// directory which is then renamed over `path`, so a crash mid-save can
+    /// never leave a truncated cache file behind for [`ResultCache::load`]
+    /// to reject on every future run.
     ///
     /// # Errors
     ///
-    /// Returns an [`io::Error`] if the file cannot be written.
+    /// Returns an [`io::Error`] if the file cannot be written or renamed.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let entries = self.entries.read().expect("cache lock poisoned");
         let text = serde_json::to_string_pretty(&*entries)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        std::fs::write(path, text)
+        drop(entries);
+        let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "cache path has no file name")
+        })?;
+        let tmp = path.with_file_name(format!("{file_name}.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, text)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 
     /// Looks up a point by its content key, counting a hit or miss.
     ///
-    /// The stored record's identity is verified against `point` before it is
-    /// returned: a 64-bit key collision (or a corrupted/hand-edited cache
-    /// file) is treated as a miss, so collisions degrade to recompilation
-    /// instead of silently returning another point's result.
+    /// The stored records' identities are verified against `point` before
+    /// one is returned: a 64-bit key collision (or a corrupted/hand-edited
+    /// cache file) is treated as a miss, so collisions degrade to
+    /// recompilation instead of silently returning another point's result.
     pub fn lookup(&self, key: &str, point: &SweepPoint) -> Option<EvalRecord> {
         let entries = self.entries.read().expect("cache lock poisoned");
-        match entries.get(key).filter(|r| record_matches(r, point)) {
+        match entries
+            .get(key)
+            .and_then(|bucket| bucket.iter().find(|r| record_matches(r, point)))
+        {
             Some(record) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(record.clone())
@@ -125,17 +166,30 @@ impl ResultCache {
         }
     }
 
-    /// Inserts an evaluated record.
+    /// Inserts an evaluated record into its key's bucket, replacing a stored
+    /// record with the same identity and coexisting with colliding records
+    /// of *different* identity (the historical behaviour overwrote them, so
+    /// two colliding points evicted each other forever and one was silently
+    /// lost on save).
     pub fn insert(&self, key: String, record: EvalRecord) {
-        self.entries
-            .write()
-            .expect("cache lock poisoned")
-            .insert(key, record);
+        let mut entries = self.entries.write().expect("cache lock poisoned");
+        let bucket = entries.entry(key).or_default();
+        match bucket.iter_mut().find(|r| {
+            r.workload == record.workload && r.design == record.design && r.mapper == record.mapper
+        }) {
+            Some(slot) => *slot = record,
+            None => bucket.push(record),
+        }
     }
 
-    /// Number of cached entries.
+    /// Number of cached records (across all buckets).
     pub fn len(&self) -> usize {
-        self.entries.read().expect("cache lock poisoned").len()
+        self.entries
+            .read()
+            .expect("cache lock poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -238,6 +292,90 @@ mod tests {
         );
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn colliding_points_coexist_in_one_bucket() {
+        // Regression: the historical cache stored one record per key, so on
+        // a 64-bit collision `insert` overwrote the other point's entry and
+        // the two points evicted each other forever.
+        let cache = ResultCache::new();
+        let p = point("dwconv", CommLevel::Aligned);
+        let other = point("fc", CommLevel::Rich);
+        let key = cache_key(&p);
+        cache.insert(key.clone(), EvalRecord::failed(&p, "mine"));
+        cache.insert(key.clone(), EvalRecord::failed(&other, "collider"));
+        assert_eq!(cache.len(), 2, "both colliding records retained");
+        let got_p = cache.lookup(&key, &p).expect("first record kept");
+        assert_eq!(got_p.error.as_deref(), Some("mine"));
+        let got_other = cache.lookup(&key, &other).expect("collider kept");
+        assert_eq!(got_other.error.as_deref(), Some("collider"));
+        // Same-identity insert replaces rather than appending.
+        cache.insert(key.clone(), EvalRecord::failed(&p, "updated"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.lookup(&key, &p).unwrap().error.as_deref(),
+            Some("updated")
+        );
+        // Both survive persistence.
+        let dir = std::env::temp_dir().join("plaid-explore-collision-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        cache.save(&path).unwrap();
+        let reloaded = ResultCache::load(&path).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.lookup(&key, &p).is_some());
+        assert!(reloaded.lookup(&key, &other).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let cache = ResultCache::new();
+        let p = point("dwconv", CommLevel::Lean);
+        cache.insert(cache_key(&p), EvalRecord::failed(&p, "v1"));
+        let dir = std::env::temp_dir().join("plaid-explore-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        cache.save(&path).unwrap();
+        // Overwriting an existing file goes through the same tmp+rename.
+        cache.insert(cache_key(&p), EvalRecord::failed(&p, "v2"));
+        cache.save(&path).unwrap();
+        let reloaded = ResultCache::load(&path).unwrap();
+        assert_eq!(
+            reloaded
+                .lookup(&cache_key(&p), &p)
+                .unwrap()
+                .error
+                .as_deref(),
+            Some("v2")
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_single_record_format_still_loads() {
+        let p = point("dwconv", CommLevel::Aligned);
+        let key = cache_key(&p);
+        let record = EvalRecord::failed(&p, "legacy");
+        let legacy = format!("{{\"{key}\": {}}}", serde_json::to_string(&record).unwrap());
+        let dir = std::env::temp_dir().join("plaid-explore-legacy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        std::fs::write(&path, legacy).unwrap();
+        let cache = ResultCache::load(&path).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&key, &p).is_some());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

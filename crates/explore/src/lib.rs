@@ -47,12 +47,14 @@
 pub mod cache;
 pub mod pareto;
 pub mod record;
+pub mod seed;
 pub mod sweep;
 
 pub use cache::{cache_key, ResultCache};
 pub use pareto::{pareto_indices, FrontierReport, Objectives, WorkloadFrontier};
 pub use record::EvalRecord;
+pub use seed::{provisioning_distance, SeedFamily, SeedPolicy, SeedStore};
 pub use sweep::{
-    default_mapper_for_class, evaluate_point, run_sweep, SweepOutcome, SweepPlan, SweepPoint,
-    SweepStats,
+    default_mapper_for_class, evaluate_point, run_sweep, run_sweep_with, SweepOutcome, SweepPlan,
+    SweepPoint, SweepStats,
 };

@@ -26,6 +26,14 @@ pub struct Objectives {
 }
 
 impl Objectives {
+    /// Whether every objective is a finite number. A record with a NaN (or
+    /// infinite) area or energy can never be dominated — IEEE comparisons
+    /// against NaN are all false — so it would always survive onto the
+    /// frontier; such records are excluded before dominance filtering.
+    pub fn is_finite(&self) -> bool {
+        self.area_um2.is_finite() && self.energy_nj.is_finite()
+    }
+
     /// True when `self` is no worse than `other` on every objective and
     /// strictly better on at least one.
     pub fn dominates(&self, other: &Objectives) -> bool {
@@ -74,19 +82,36 @@ pub struct WorkloadFrontier {
 pub struct FrontierReport {
     /// Per-workload frontiers.
     pub frontiers: Vec<WorkloadFrontier>,
+    /// Evaluated records dropped because an objective was NaN or infinite
+    /// (a non-finite objective would otherwise always survive dominance
+    /// filtering and pollute the frontier).
+    pub excluded_non_finite: usize,
 }
 
 impl FrontierReport {
     /// Extracts per-workload Pareto frontiers from sweep records. Failed
-    /// evaluations (no metrics) are excluded before dominance filtering.
+    /// evaluations (no metrics) are excluded before dominance filtering, as
+    /// are records with non-finite objectives (counted in
+    /// [`FrontierReport::excluded_non_finite`]).
     pub fn from_records(records: &[EvalRecord]) -> Self {
         let mut by_workload: BTreeMap<String, Vec<EvalRecord>> = BTreeMap::new();
+        let mut excluded_non_finite = 0usize;
         for record in records {
-            if record.objectives().is_some() {
-                by_workload
-                    .entry(record.workload.name.clone())
-                    .or_default()
-                    .push(record.clone());
+            match record.objectives() {
+                Some(obj) if obj.is_finite() => {
+                    // The captured warm-start seed is mapper-internal state:
+                    // its capacity certificate depends on how the II ladder
+                    // was reached (cold vs. floored past a proven-infeasible
+                    // prefix) even when the mapping itself is identical.
+                    // Stripping it keeps frontier reports bit-identical
+                    // across seeding policies and slims the artifact.
+                    by_workload
+                        .entry(record.workload.name.clone())
+                        .or_default()
+                        .push(record.without_seed());
+                }
+                Some(_) => excluded_non_finite += 1,
+                None => {}
             }
         }
         let frontiers = by_workload
@@ -109,7 +134,10 @@ impl FrontierReport {
                 }
             })
             .collect();
-        FrontierReport { frontiers }
+        FrontierReport {
+            frontiers,
+            excluded_non_finite,
+        }
     }
 
     /// Total number of frontier points across all workloads.
@@ -243,6 +271,80 @@ mod tests {
         assert!(pareto_indices(&[]).is_empty());
         let report = FrontierReport::from_records(&[]);
         assert_eq!(report.frontier_size(), 0);
+        assert_eq!(report.excluded_non_finite, 0);
         assert!(report.render().is_empty());
+    }
+
+    fn record_with_metrics(area: f64, energy: f64) -> EvalRecord {
+        use plaid::pipeline::{CompileSummary, MapperChoice};
+        use plaid_arch::{ArchClass, CommLevel, DesignPoint};
+        use plaid_motif::CoverageStats;
+        use plaid_sim::metrics::EvalMetrics;
+        use plaid_workloads::{Domain, WorkloadDescriptor};
+        EvalRecord {
+            workload: WorkloadDescriptor {
+                name: "synthetic".into(),
+                domain: Domain::LinearAlgebra,
+                kernel: "synthetic".into(),
+                unroll: 1,
+                iterations: 16,
+            },
+            design: DesignPoint {
+                class: ArchClass::Plaid,
+                rows: 2,
+                cols: 2,
+                config_entries: 16,
+                comm: CommLevel::Aligned,
+            },
+            arch: format!("synthetic-a{area}-e{energy}"),
+            mapper: MapperChoice::Plaid,
+            compute_units: 16,
+            ok: true,
+            error: None,
+            summary: Some(CompileSummary {
+                name: "synthetic".into(),
+                coverage: CoverageStats {
+                    name: "synthetic".into(),
+                    total_nodes: 1,
+                    compute_nodes: 1,
+                    covered_nodes: 0,
+                    fan_in: 0,
+                    fan_out: 0,
+                    unicast: 0,
+                    pairs: 0,
+                },
+                metrics: EvalMetrics {
+                    kernel: "synthetic".into(),
+                    arch: "synthetic".into(),
+                    mapper: "plaid".into(),
+                    ii: 1,
+                    cycles: 100,
+                    power_uw: 1.0,
+                    energy_nj: energy,
+                    area_um2: area,
+                },
+                seed: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn non_finite_objectives_are_excluded_with_a_count() {
+        // Regression: a NaN objective is incomparable under IEEE `<=`/`<`,
+        // so nothing can dominate it and it always landed on the frontier.
+        let nan_area = record_with_metrics(f64::NAN, 1.0);
+        let inf_energy = record_with_metrics(10.0, f64::INFINITY);
+        let good = record_with_metrics(10.0, 1.0);
+        let report =
+            FrontierReport::from_records(&[nan_area.clone(), inf_energy.clone(), good.clone()]);
+        assert_eq!(report.excluded_non_finite, 2);
+        assert_eq!(report.frontier_size(), 1);
+        let frontier = &report.frontiers[0];
+        assert_eq!(frontier.evaluated, 1);
+        assert_eq!(frontier.points[0].arch, good.arch);
+        // Sanity: without the filter the NaN record would have survived.
+        assert!(!nan_area.objectives().unwrap().is_finite());
+        assert!(!inf_energy.objectives().unwrap().is_finite());
+        assert!(good.objectives().unwrap().is_finite());
     }
 }

@@ -36,6 +36,28 @@ pub struct EvalRecord {
 }
 
 impl EvalRecord {
+    /// A copy of this record with the mapper-internal [`plaid::pipeline::PlacementSeed`]
+    /// stripped from its summary, built without ever cloning the seed (the
+    /// placements and route hops are the dominant share of a successful
+    /// record's size).
+    pub fn without_seed(&self) -> Self {
+        EvalRecord {
+            workload: self.workload.clone(),
+            design: self.design,
+            arch: self.arch.clone(),
+            mapper: self.mapper,
+            compute_units: self.compute_units,
+            ok: self.ok,
+            error: self.error.clone(),
+            summary: self.summary.as_ref().map(|s| CompileSummary {
+                name: s.name.clone(),
+                coverage: s.coverage.clone(),
+                metrics: s.metrics.clone(),
+                seed: None,
+            }),
+        }
+    }
+
     /// Builds the success record for a sweep point.
     pub fn succeeded(point: &SweepPoint, summary: CompileSummary) -> Self {
         EvalRecord {

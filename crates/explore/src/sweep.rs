@@ -6,9 +6,11 @@
 //! consulting the [`ResultCache`] before every compilation so overlapping or
 //! repeated sweeps only pay for points they have never seen.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use plaid::pipeline::{compile_workload_on, MapperChoice};
+use plaid::pipeline::{compile_workload_on, compile_workload_on_seeded, MapperChoice, SeedOutcome};
 use plaid_arch::{ArchClass, DesignPoint, SpaceSpec};
 use plaid_workloads::Workload;
 use rayon::prelude::*;
@@ -16,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{cache_key, ResultCache};
 use crate::record::EvalRecord;
+use crate::seed::{SeedFamily, SeedPolicy, SeedStore};
 
 /// One evaluatable point: a workload, a provisioning design point and the
 /// mapper that will place the workload onto it.
@@ -97,6 +100,11 @@ pub struct SweepStats {
     pub cache_hits: usize,
     /// Points whose compilation failed (counted within `compiled`).
     pub failures: usize,
+    /// Compiled points that had a warm-start hint available.
+    pub seeded: usize,
+    /// Compiled points where seeding demonstrably skipped work: an exact
+    /// replay, a floored (or fully skipped) II ladder.
+    pub seed_hits: usize,
     /// Wall-clock time of the pass in milliseconds.
     pub wall_ms: u64,
 }
@@ -137,18 +145,120 @@ pub fn evaluate_point(point: &SweepPoint, cache: &ResultCache) -> EvalRecord {
     record
 }
 
-/// Runs the plan in parallel, returning records in plan order.
+/// Runs the plan with the default warm-start policy
+/// ([`SeedPolicy::Exact`], which preserves cold-run results bit-for-bit),
+/// returning records in plan order.
+///
+/// Seeding changes the schedule, not the results: points sharing a seed
+/// super-family run sequentially (in depth order) so later points can reuse
+/// earlier seeds, and only distinct groups run in parallel. A plan that is
+/// one big family therefore trades per-point parallelism for seed reuse —
+/// pass [`SeedPolicy::Off`] to [`run_sweep_with`] to get the flat
+/// fully-parallel evaluation instead.
 ///
 /// Cache hit/miss accounting in the returned [`SweepStats`] reflects only
 /// this pass (the cache's counters are reset on entry).
 pub fn run_sweep(plan: &SweepPlan, cache: &ResultCache) -> SweepOutcome {
+    run_sweep_with(plan, cache, SeedPolicy::Exact)
+}
+
+/// Runs the plan in parallel under an explicit warm-start policy.
+///
+/// Points are grouped by seed *super-family* (workload × class × dimensions
+/// × mapper — the communication and depth axes erased) and each group is
+/// evaluated in ascending depth, aligned-communication-first order, so every
+/// group compiles one ladder cold and derives its siblings from the cached
+/// [`plaid::pipeline::PlacementSeed`]: an exact replay for depth siblings
+/// (identical fabric signature), a capacity-certified replay for
+/// communication siblings, and a skipped ladder prefix where a shallower
+/// sibling proved its ladder infeasible. Groups still run in parallel;
+/// records come back in plan order.
+pub fn run_sweep_with(plan: &SweepPlan, cache: &ResultCache, policy: SeedPolicy) -> SweepOutcome {
     let start = Instant::now();
     cache.reset_counters();
-    let records: Vec<EvalRecord> = plan
-        .points
+
+    // The cold path stays flat: without seeding there is no reason to
+    // serialize points within a super-family, so every point is an
+    // independent parallel task (and the seed store is never built) — the
+    // `--no-seed` baseline measures exactly the pre-seeding sweep.
+    if policy == SeedPolicy::Off {
+        let records: Vec<EvalRecord> = plan
+            .points
+            .par_iter()
+            .map(|point| evaluate_point(point, cache))
+            .collect();
+        let cache_hits = cache.hits() as usize;
+        let failures = records.iter().filter(|r| !r.ok).count();
+        return SweepOutcome {
+            stats: SweepStats {
+                points: records.len(),
+                compiled: records.len() - cache_hits,
+                cache_hits,
+                failures,
+                seeded: 0,
+                seed_hits: 0,
+                wall_ms: start.elapsed().as_millis() as u64,
+            },
+            records,
+        };
+    }
+
+    let store = SeedStore::new();
+    let seeded = AtomicUsize::new(0);
+    let seed_hits = AtomicUsize::new(0);
+
+    // Group plan indices by super-family, ordered by first appearance so the
+    // grouping is deterministic. Within a group: ascending depth (the cheap
+    // shallow ladder is a prefix of every deeper one), and the as-published
+    // aligned network first within a depth (its certificate transfers to
+    // both the lean and rich variants when capacity never binds).
+    let comm_order = |c: plaid_arch::CommLevel| match c {
+        plaid_arch::CommLevel::Aligned => 0u8,
+        plaid_arch::CommLevel::Lean => 1,
+        plaid_arch::CommLevel::Rich => 2,
+    };
+    let mut group_of: HashMap<SeedFamily, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, point) in plan.points.iter().enumerate() {
+        let family = SeedFamily::super_of(point);
+        let g = *group_of.entry(family).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(i);
+    }
+    for group in &mut groups {
+        group.sort_by_key(|&i| {
+            let d = &plan.points[i].design;
+            (d.config_entries, comm_order(d.comm), i)
+        });
+    }
+
+    let evaluated: Vec<Vec<(usize, EvalRecord)>> = groups
         .par_iter()
-        .map(|point| evaluate_point(point, cache))
+        .map(|group| {
+            group
+                .iter()
+                .map(|&i| {
+                    let point = &plan.points[i];
+                    (
+                        i,
+                        evaluate_point_seeded(point, cache, &store, policy, &seeded, &seed_hits),
+                    )
+                })
+                .collect()
+        })
         .collect();
+
+    let mut slots: Vec<Option<EvalRecord>> = vec![None; plan.len()];
+    for (i, record) in evaluated.into_iter().flatten() {
+        slots[i] = Some(record);
+    }
+    let records: Vec<EvalRecord> = slots
+        .into_iter()
+        .map(|r| r.expect("every plan point evaluated"))
+        .collect();
+
     let cache_hits = cache.hits() as usize;
     let failures = records.iter().filter(|r| !r.ok).count();
     SweepOutcome {
@@ -157,10 +267,75 @@ pub fn run_sweep(plan: &SweepPlan, cache: &ResultCache) -> SweepOutcome {
             compiled: records.len() - cache_hits,
             cache_hits,
             failures,
+            seeded: seeded.load(Ordering::Relaxed),
+            seed_hits: seed_hits.load(Ordering::Relaxed),
             wall_ms: start.elapsed().as_millis() as u64,
         },
         records,
     }
+}
+
+/// Evaluates one point with warm-start seeding, consulting (and feeding)
+/// both the result cache and the seed store.
+fn evaluate_point_seeded(
+    point: &SweepPoint,
+    cache: &ResultCache,
+    store: &SeedStore,
+    policy: SeedPolicy,
+    seeded: &AtomicUsize,
+    seed_hits: &AtomicUsize,
+) -> EvalRecord {
+    let key = cache_key(point);
+    if let Some(record) = cache.lookup(&key, point) {
+        // Cached successes still feed the store: their seeds warm the rest
+        // of the family (this is how a persisted cache seeds a new grid),
+        // and a replayed seed is re-validated on the target fabric. Cached
+        // *failures* are deliberately not absorbed: an infeasibility floor
+        // is trusted without re-validation, and a cache persisted by an
+        // older mapper could floor points the current mapper can map.
+        store.absorb_seed(point, &record);
+        return record;
+    }
+    let arch = point.design.build();
+    // Hints are stamped with the workload's DFG fingerprint so the mapper
+    // can verify they belong to the graph it is about to place (floors are
+    // keyed by workload name in the store; the mapper re-checks identity).
+    let hint = point.workload.lower().ok().and_then(|dfg| {
+        store.hint_for(point, &arch, plaid::pipeline::dfg_fingerprint(&dfg), policy)
+    });
+    if hint.is_some() {
+        seeded.fetch_add(1, Ordering::Relaxed);
+    }
+    let record =
+        match compile_workload_on_seeded(&point.workload, &arch, point.mapper, hint.as_ref()) {
+            Ok(compiled) => {
+                if matches!(
+                    compiled.seed_outcome,
+                    SeedOutcome::Replayed | SeedOutcome::Floored
+                ) {
+                    seed_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                EvalRecord::succeeded(point, compiled.summary())
+            }
+            Err(e) => {
+                // A failure reached through a floored or fully skipped
+                // ladder also saved work (a canonical sibling seed above
+                // this point's II bound fast-fails the whole ladder).
+                let skipped_work = hint.as_ref().is_some_and(|h| {
+                    h.infeasible.is_some()
+                        || h.seed
+                            .as_ref()
+                            .is_some_and(|s| s.canonical && s.ii > point.design.config_entries)
+                });
+                if skipped_work {
+                    seed_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                EvalRecord::failed(point, e.to_string())
+            }
+        };
+    cache.insert(key, record.clone());
+    store.absorb(point, &record);
+    record
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ pub mod placement;
 pub mod plaid;
 pub mod route;
 pub mod sa;
+pub mod seed;
 pub mod spatial;
 pub mod state;
 
@@ -64,7 +65,12 @@ pub use mii::{mii, rec_mii, res_mii};
 pub use pathfinder::{PathFinderMapper, PathFinderOptions};
 pub use plaid::{PlaidMapper, PlaidMapperOptions};
 pub use sa::{SaMapper, SaOptions};
+pub use seed::{
+    dfg_fingerprint, fabric_signature, fabric_signature_nocap, InfeasiblePrefix, MapSeed,
+    PlacementSeed, SeedOutcome, SeededMapping,
+};
 pub use spatial::{SpatialMapper, SpatialOptions, SpatialSchedule};
+pub use state::CapacityCert;
 
 use plaid_arch::Architecture;
 use plaid_dfg::Dfg;

@@ -13,8 +13,12 @@ use plaid_dfg::{Dfg, NodeId};
 use crate::error::MapError;
 use crate::mapping::Mapping;
 use crate::mii::mii;
-use crate::placement::{greedy_place, MapState};
+use crate::placement::{greedy_place, place_node_best_effort, MapState};
 use crate::route::{HardCapacityCost, NegotiatedCost};
+use crate::seed::{
+    apply_seed_placement, options_fingerprint, plan_ladder, LadderPlan, MapSeed, PlacementSeed,
+    SeedContext, SeedOutcome, SeededMapping,
+};
 use crate::Mapper;
 
 /// Options of the PathFinder mapper.
@@ -52,11 +56,36 @@ impl PathFinderMapper {
         dfg: &'a Dfg,
         arch: &'a Architecture,
         ii: u32,
+        warm: Option<&PlacementSeed>,
     ) -> Option<MapState<'a>> {
         let mut state = MapState::new(dfg, arch, ii);
         // Placement uses the hard-capacity policy so the starting point is
-        // already congestion-aware; negotiation then owns the routing.
-        if !greedy_place(&mut state, &HardCapacityCost) {
+        // already congestion-aware; negotiation then owns the routing. A
+        // warm seed pre-places what translates onto the new fabric and the
+        // rest completes greedily; if the seeded start is unusable the
+        // attempt falls back to pure greedy placement.
+        let mut placed_ok = false;
+        if let Some(seed) = warm {
+            apply_seed_placement(&mut state, seed);
+            if let Ok(order) = dfg.topological_order() {
+                placed_ok = true;
+                for node in order {
+                    if !state.placements.contains_key(&node)
+                        && !place_node_best_effort(&mut state, node, &HardCapacityCost)
+                    {
+                        placed_ok = false;
+                        break;
+                    }
+                }
+            }
+            if placed_ok && !state.timing_ok() {
+                placed_ok = false;
+            }
+            if !placed_ok {
+                state = MapState::new(dfg, arch, ii);
+            }
+        }
+        if !placed_ok && !greedy_place(&mut state, &HardCapacityCost) {
             return None;
         }
         if !state.timing_ok() {
@@ -84,28 +113,98 @@ impl PathFinderMapper {
     }
 }
 
-impl Mapper for PathFinderMapper {
-    fn map(&self, dfg: &Dfg, arch: &Architecture) -> Result<Mapping, MapError> {
+impl PathFinderMapper {
+    /// Maps with an optional warm-start hint.
+    ///
+    /// A canonical same-fabric seed replays directly (bit-identical to the
+    /// cold result); a proven-infeasible ladder prefix raises the starting
+    /// II; a foreign-fabric seed warm-starts negotiation *after* the scratch
+    /// attempt fails at an II, so a seeded run never reaches a worse II than
+    /// the unseeded run on the same point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] exactly as [`Mapper::map`] does.
+    pub fn map_with_seed(
+        &self,
+        dfg: &Dfg,
+        arch: &Architecture,
+        hint: Option<&MapSeed>,
+    ) -> Result<SeededMapping, MapError> {
         if dfg.memory_node_count() > 0 && arch.memory_unit_count() == 0 {
             return Err(MapError::UnsupportedDfg(
                 "DFG contains memory operations but the architecture has no memory-capable unit"
                     .into(),
             ));
         }
+        let ctx = SeedContext::of(dfg, arch);
+        let fingerprint = options_fingerprint(&self.options);
         let start = mii(dfg, arch);
         let max_ii = self.options.max_ii.unwrap_or(arch.params().max_ii());
-        for ii in start..=max_ii {
-            if let Some(state) = self.attempt_ii(dfg, arch, ii) {
-                let mapping = state.into_mapping(self.name());
-                mapping.validate(dfg, arch)?;
-                return Ok(mapping);
-            }
-        }
-        Err(MapError::NoValidMapping {
+        let infeasible = || MapError::NoValidMapping {
             kernel: dfg.name().to_string(),
             arch: arch.name().to_string(),
             max_ii,
-        })
+        };
+        let (start, warm, floored) =
+            match plan_ladder(hint, &ctx, self.name(), fingerprint, start, max_ii) {
+                LadderPlan::Infeasible => return Err(infeasible()),
+                LadderPlan::Replay(seed) => {
+                    if let Some(mapping) = seed.replay(dfg, arch) {
+                        return Ok(SeededMapping {
+                            seed: PlacementSeed::capture_inherited(
+                                dfg,
+                                &mapping,
+                                arch,
+                                fingerprint,
+                                seed,
+                            ),
+                            mapping,
+                            outcome: SeedOutcome::Replayed,
+                        });
+                    }
+                    (start, None, false)
+                }
+                LadderPlan::Ladder {
+                    start,
+                    warm,
+                    floored,
+                } => (start, warm, floored),
+            };
+        for ii in start..=max_ii {
+            if let Some(state) = self.attempt_ii(dfg, arch, ii, None) {
+                let mapping = state.into_mapping(self.name());
+                mapping.validate(dfg, arch)?;
+                let outcome = if floored {
+                    SeedOutcome::Floored
+                } else {
+                    SeedOutcome::Scratch
+                };
+                return Ok(SeededMapping {
+                    seed: PlacementSeed::capture(dfg, &mapping, arch, fingerprint, true),
+                    mapping,
+                    outcome,
+                });
+            }
+            if let Some(seed) = warm {
+                if let Some(state) = self.attempt_ii(dfg, arch, ii, Some(seed)) {
+                    let mapping = state.into_mapping(self.name());
+                    mapping.validate(dfg, arch)?;
+                    return Ok(SeededMapping {
+                        seed: PlacementSeed::capture(dfg, &mapping, arch, fingerprint, false),
+                        mapping,
+                        outcome: SeedOutcome::WarmStarted,
+                    });
+                }
+            }
+        }
+        Err(infeasible())
+    }
+}
+
+impl Mapper for PathFinderMapper {
+    fn map(&self, dfg: &Dfg, arch: &Architecture) -> Result<Mapping, MapError> {
+        self.map_with_seed(dfg, arch, None).map(|s| s.mapping)
     }
 
     fn name(&self) -> &'static str {

@@ -47,6 +47,25 @@ impl<'a> MapState<'a> {
         }
     }
 
+    /// Creates an empty state whose capacity decisions are recorded into an
+    /// externally owned certificate (shared across all the states of one II
+    /// ladder).
+    pub fn with_cert(
+        dfg: &'a Dfg,
+        arch: &'a Architecture,
+        ii: u32,
+        cert: std::sync::Arc<crate::state::CapacityCert>,
+    ) -> Self {
+        MapState {
+            dfg,
+            arch,
+            ii,
+            state: RoutingState::with_cert(arch, ii, cert),
+            placements: HashMap::new(),
+            routes: HashMap::new(),
+        }
+    }
+
     /// Whether `fu` can host `node` (capability plus a free modulo slot).
     pub fn can_place(&self, node: NodeId, fu: ResourceId, cycle: u32) -> bool {
         let n = self.dfg.node(node);

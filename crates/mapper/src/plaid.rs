@@ -11,7 +11,7 @@
 //! annealing. The II grows only when the repair budget is exhausted.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use plaid_arch::{ArchClass, Architecture, Cluster, HardwiredPattern};
 use plaid_dfg::{Dfg, EdgeId, NodeId};
@@ -24,6 +24,14 @@ use crate::mapping::Mapping;
 use crate::mii::mii;
 use crate::placement::{place_node_best_effort, MapState};
 use crate::route::HardCapacityCost;
+use std::sync::Arc;
+
+use crate::sa::attempt_rng;
+use crate::seed::{
+    options_fingerprint, plan_ladder, LadderPlan, MapSeed, PlacementSeed, SeedContext, SeedOutcome,
+    SeededMapping,
+};
+use crate::state::CapacityCert;
 use crate::Mapper;
 
 /// Options of the Plaid mapper.
@@ -192,9 +200,10 @@ impl PlaidMapper {
         hdfg: &HierarchicalDfg,
         ii: u32,
         rng: &mut SmallRng,
+        cert: &Arc<CapacityCert>,
     ) -> Option<MapState<'a>> {
         let policy = HardCapacityCost;
-        let mut state = MapState::new(dfg, arch, ii);
+        let mut state = MapState::with_cert(dfg, arch, ii, Arc::clone(cert));
 
         // Line 1: sort motifs by data dependency (ASAP level of their nodes).
         let levels = dfg.asap_levels().ok()?;
@@ -321,14 +330,59 @@ fn kind_matches(pattern: HardwiredPattern, kind: MotifKind) -> bool {
     )
 }
 
-impl Mapper for PlaidMapper {
-    fn map(&self, dfg: &Dfg, arch: &Architecture) -> Result<Mapping, MapError> {
+impl PlaidMapper {
+    /// Maps with an optional warm-start hint.
+    ///
+    /// The Plaid mapper consumes the two *sound* seeding tiers — exact
+    /// replay of a canonical same-fabric seed and ladder flooring past a
+    /// proven-infeasible prefix — and ignores heuristic foreign-fabric
+    /// seeds (motif templates do not translate across cluster layouts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] exactly as [`Mapper::map`] does.
+    pub fn map_with_seed(
+        &self,
+        dfg: &Dfg,
+        arch: &Architecture,
+        hint: Option<&MapSeed>,
+    ) -> Result<SeededMapping, MapError> {
         if dfg.memory_node_count() > 0 && arch.memory_unit_count() == 0 {
             return Err(MapError::UnsupportedDfg(
                 "DFG contains memory operations but the architecture has no memory-capable unit"
                     .into(),
             ));
         }
+        let ctx = SeedContext::of(dfg, arch);
+        let fingerprint = options_fingerprint(&self.options);
+        let start = mii(dfg, arch);
+        let max_ii = self.options.max_ii.unwrap_or(arch.params().max_ii());
+        let infeasible = || MapError::NoValidMapping {
+            kernel: dfg.name().to_string(),
+            arch: arch.name().to_string(),
+            max_ii,
+        };
+        let (start, floored) =
+            match plan_ladder(hint, &ctx, self.name(), fingerprint, start, max_ii) {
+                LadderPlan::Infeasible => return Err(infeasible()),
+                LadderPlan::Replay(seed) => {
+                    if let Some(mapping) = seed.replay(dfg, arch) {
+                        return Ok(SeededMapping {
+                            seed: PlacementSeed::capture_inherited(
+                                dfg,
+                                &mapping,
+                                arch,
+                                fingerprint,
+                                seed,
+                            ),
+                            mapping,
+                            outcome: SeedOutcome::Replayed,
+                        });
+                    }
+                    (start, false)
+                }
+                LadderPlan::Ladder { start, floored, .. } => (start, floored),
+            };
         // On non-Plaid fabrics every cluster has a single ALU, so motifs are
         // mapped node-by-node; the hierarchical strategy only pays off on the
         // PCU array, which is exactly the paper's observation in Figure 18.
@@ -337,21 +391,46 @@ impl Mapper for PlaidMapper {
         } else {
             HierarchicalDfg::new(dfg, Vec::new())
         };
-        let mut rng = SmallRng::seed_from_u64(self.options.seed);
-        let start = mii(dfg, arch);
-        let max_ii = self.options.max_ii.unwrap_or(arch.params().max_ii());
+        // One capacity certificate accumulates across the whole ladder so
+        // the captured seed can prove its result transfers to
+        // differently-provisioned networks.
+        let cert = Arc::new(CapacityCert::new(arch.resources().len()));
         for ii in start..=max_ii {
-            if let Some(state) = self.attempt_ii(dfg, arch, &hdfg, ii, &mut rng) {
+            // Per-II RNG: each attempt is a pure function of
+            // (dfg, fabric, ii), which is what makes ladder prefixes
+            // transferable across configuration depths.
+            let mut rng = attempt_rng(self.options.seed, ii);
+            if let Some(state) = self.attempt_ii(dfg, arch, &hdfg, ii, &mut rng, &cert) {
                 let mapping = state.into_mapping(self.name());
                 mapping.validate(dfg, arch)?;
-                return Ok(mapping);
+                let (outcome, run_cert) = if floored {
+                    // Canonical but not transferable: the certificate does
+                    // not cover the skipped (proved-infeasible) prefix.
+                    (SeedOutcome::Floored, None)
+                } else {
+                    (SeedOutcome::Scratch, Some(&*cert))
+                };
+                return Ok(SeededMapping {
+                    seed: PlacementSeed::capture_with_cert(
+                        dfg,
+                        &mapping,
+                        arch,
+                        fingerprint,
+                        true,
+                        run_cert,
+                    ),
+                    mapping,
+                    outcome,
+                });
             }
         }
-        Err(MapError::NoValidMapping {
-            kernel: dfg.name().to_string(),
-            arch: arch.name().to_string(),
-            max_ii,
-        })
+        Err(infeasible())
+    }
+}
+
+impl Mapper for PlaidMapper {
+    fn map(&self, dfg: &Dfg, arch: &Architecture) -> Result<Mapping, MapError> {
+        self.map_with_seed(dfg, arch, None).map(|s| s.mapping)
     }
 
     fn name(&self) -> &'static str {

@@ -16,9 +16,40 @@ use plaid_dfg::{Dfg, EdgeId, NodeId};
 use crate::error::MapError;
 use crate::mapping::Mapping;
 use crate::mii::mii;
-use crate::placement::{greedy_place, MapState};
+use crate::placement::{greedy_place, place_node_best_effort, MapState};
 use crate::route::HardCapacityCost;
+use std::sync::Arc;
+
+use crate::seed::{
+    apply_seed_placement, options_fingerprint, plan_ladder, LadderPlan, MapSeed, PlacementSeed,
+    SeedContext, SeedOutcome, SeededMapping,
+};
+use crate::state::CapacityCert;
 use crate::Mapper;
+
+/// Annealing move candidates considered per move. Kept small so a move stays
+/// cheap, but the candidates are drawn from the *full* candidate list —
+/// indexing `0..len.min(MOVE_SAMPLES)` would permanently bar most of a large
+/// fabric from ever receiving a move.
+const MOVE_SAMPLES: usize = 6;
+
+/// Draws up to [`MOVE_SAMPLES`] uniform indices over the full candidate list
+/// and returns them in draw order. Every candidate is reachable, unlike the
+/// historical `candidates[rng.gen_range(0..candidates.len().min(6))]`, which
+/// could only ever select the first six entries.
+fn sample_move_candidates(rng: &mut SmallRng, len: usize) -> Vec<usize> {
+    (0..MOVE_SAMPLES.min(len))
+        .map(|_| rng.gen_range(0..len))
+        .collect()
+}
+
+/// Derives the per-II RNG. Each II attempt gets an independent stream that
+/// depends only on `(seed, ii)`, making every attempt a pure function of
+/// `(dfg, fabric, ii)` — the property that lets warm-start seeding skip or
+/// replay ladder prefixes without changing results.
+pub(crate) fn attempt_rng(seed: u64, ii: u32) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ (u64::from(ii) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// Options of the simulated-annealing mapper.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,17 +91,34 @@ impl SaMapper {
         SaMapper { options }
     }
 
-    /// Attempts a single II; returns a complete state on success.
+    /// Attempts a single II; returns a complete state on success. When
+    /// `warm` is given, the initial placement starts from the translated
+    /// seed (falling back to greedy for nodes the seed cannot place).
     fn attempt_ii<'a>(
         &self,
         dfg: &'a Dfg,
         arch: &'a Architecture,
         ii: u32,
         rng: &mut SmallRng,
+        warm: Option<&PlacementSeed>,
+        cert: &Arc<CapacityCert>,
     ) -> Option<MapState<'a>> {
         let policy = HardCapacityCost;
-        let mut state = MapState::new(dfg, arch, ii);
-        if !greedy_place(&mut state, &policy) {
+        let mut state = MapState::with_cert(dfg, arch, ii, Arc::clone(cert));
+        let seeded_start = match warm {
+            Some(seed) => {
+                apply_seed_placement(&mut state, seed);
+                let order = dfg.topological_order().ok()?;
+                for node in order {
+                    if !state.placements.contains_key(&node) {
+                        let _ = place_node_best_effort(&mut state, node, &policy);
+                    }
+                }
+                true
+            }
+            None => false,
+        };
+        if !seeded_start && !greedy_place(&mut state, &policy) {
             // Loose fallback: place the remaining nodes anywhere legal so that
             // annealing has a full (if poor) starting point.
             let unplaced: Vec<NodeId> = dfg
@@ -80,6 +128,19 @@ impl SaMapper {
             for node in unplaced {
                 let placed = place_anywhere(&mut state, node);
                 if !placed {
+                    return None;
+                }
+            }
+        }
+        if seeded_start {
+            // Any node neither the seed nor greedy completion could place
+            // still needs a slot before annealing can repair routes.
+            let unplaced: Vec<NodeId> = dfg
+                .node_ids()
+                .filter(|n| !state.placements.contains_key(n))
+                .collect();
+            for node in unplaced {
+                if !place_anywhere(&mut state, node) {
                     return None;
                 }
             }
@@ -105,14 +166,21 @@ impl SaMapper {
                 state = snapshot;
                 continue;
             }
-            let pick = candidates[rng.gen_range(0..candidates.len().min(6))];
             let base = state.earliest_cycle(node);
-            let cycle = base + rng.gen_range(0..ii);
-            if !state.can_place(node, pick, cycle) {
+            let mut placed = false;
+            for idx in sample_move_candidates(rng, candidates.len()) {
+                let pick = candidates[idx];
+                let cycle = base + rng.gen_range(0..ii);
+                if state.can_place(node, pick, cycle) {
+                    state.place(node, pick, cycle);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
                 state = snapshot;
                 continue;
             }
-            state.place(node, pick, cycle);
             let incident: Vec<EdgeId> = dfg
                 .edges()
                 .filter(|e| e.src == node || e.dst == node)
@@ -156,29 +224,119 @@ fn place_anywhere(state: &mut MapState<'_>, node: NodeId) -> bool {
     false
 }
 
-impl Mapper for SaMapper {
-    fn map(&self, dfg: &Dfg, arch: &Architecture) -> Result<Mapping, MapError> {
+impl SaMapper {
+    /// Maps with an optional warm-start hint.
+    ///
+    /// A canonical same-fabric seed replays directly (bit-identical to the
+    /// cold result); a proven-infeasible ladder prefix raises the starting
+    /// II; a foreign-fabric seed warm-starts each annealing attempt *after*
+    /// the scratch attempt fails, so a seeded run never reaches a worse II
+    /// than the unseeded run on the same point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] exactly as [`Mapper::map`] does.
+    pub fn map_with_seed(
+        &self,
+        dfg: &Dfg,
+        arch: &Architecture,
+        hint: Option<&MapSeed>,
+    ) -> Result<SeededMapping, MapError> {
         if dfg.memory_node_count() > 0 && arch.memory_unit_count() == 0 {
             return Err(MapError::UnsupportedDfg(
                 "DFG contains memory operations but the architecture has no memory-capable unit"
                     .into(),
             ));
         }
-        let mut rng = SmallRng::seed_from_u64(self.options.seed);
+        let ctx = SeedContext::of(dfg, arch);
+        let fingerprint = options_fingerprint(&self.options);
         let start = mii(dfg, arch);
         let max_ii = self.options.max_ii.unwrap_or(arch.params().max_ii());
-        for ii in start..=max_ii {
-            if let Some(state) = self.attempt_ii(dfg, arch, ii, &mut rng) {
-                let mapping = state.into_mapping(self.name());
-                mapping.validate(dfg, arch)?;
-                return Ok(mapping);
-            }
-        }
-        Err(MapError::NoValidMapping {
+        let infeasible = || MapError::NoValidMapping {
             kernel: dfg.name().to_string(),
             arch: arch.name().to_string(),
             max_ii,
-        })
+        };
+        let (start, warm, floored) =
+            match plan_ladder(hint, &ctx, self.name(), fingerprint, start, max_ii) {
+                LadderPlan::Infeasible => return Err(infeasible()),
+                LadderPlan::Replay(seed) => {
+                    if let Some(mapping) = seed.replay(dfg, arch) {
+                        return Ok(SeededMapping {
+                            seed: PlacementSeed::capture_inherited(
+                                dfg,
+                                &mapping,
+                                arch,
+                                fingerprint,
+                                seed,
+                            ),
+                            mapping,
+                            outcome: SeedOutcome::Replayed,
+                        });
+                    }
+                    // Corrupt or mismatched seed: fall back to the scratch
+                    // ladder, which is always sound.
+                    (start, None, false)
+                }
+                LadderPlan::Ladder {
+                    start,
+                    warm,
+                    floored,
+                } => (start, warm, floored),
+            };
+        // One capacity certificate accumulates across the entire ladder (all
+        // II attempts, including failed ones), so the captured seed can
+        // prove its result transfers to differently-provisioned networks.
+        let cert = Arc::new(CapacityCert::new(arch.resources().len()));
+        for ii in start..=max_ii {
+            let mut rng = attempt_rng(self.options.seed, ii);
+            // Scratch attempt first: when it succeeds the result is exactly
+            // the unseeded one; the warm attempt only runs on IIs the
+            // scratch search cannot close.
+            if let Some(state) = self.attempt_ii(dfg, arch, ii, &mut rng, None, &cert) {
+                let mapping = state.into_mapping(self.name());
+                mapping.validate(dfg, arch)?;
+                // Floored results are canonical (the skipped prefix was
+                // proved infeasible on this fabric) but not transferable:
+                // the certificate does not cover the skipped attempts.
+                let (outcome, run_cert) = if floored {
+                    (SeedOutcome::Floored, None)
+                } else {
+                    (SeedOutcome::Scratch, Some(&*cert))
+                };
+                return Ok(SeededMapping {
+                    seed: PlacementSeed::capture_with_cert(
+                        dfg,
+                        &mapping,
+                        arch,
+                        fingerprint,
+                        true,
+                        run_cert,
+                    ),
+                    mapping,
+                    outcome,
+                });
+            }
+            if let Some(seed) = warm {
+                let mut rng = attempt_rng(self.options.seed ^ 0x5EED_CAFE, ii);
+                if let Some(state) = self.attempt_ii(dfg, arch, ii, &mut rng, Some(seed), &cert) {
+                    let mapping = state.into_mapping(self.name());
+                    mapping.validate(dfg, arch)?;
+                    return Ok(SeededMapping {
+                        seed: PlacementSeed::capture(dfg, &mapping, arch, fingerprint, false),
+                        mapping,
+                        outcome: SeedOutcome::WarmStarted,
+                    });
+                }
+            }
+        }
+        Err(infeasible())
+    }
+}
+
+impl Mapper for SaMapper {
+    fn map(&self, dfg: &Dfg, arch: &Architecture) -> Result<Mapping, MapError> {
+        self.map_with_seed(dfg, arch, None).map(|s| s.mapping)
     }
 
     fn name(&self) -> &'static str {
@@ -253,6 +411,44 @@ mod tests {
             mapping.total_cycles(iters),
             (iters - 1) * u64::from(mapping.ii) + u64::from(mapping.schedule_length())
         );
+    }
+
+    #[test]
+    fn move_sampling_reaches_candidates_beyond_index_five() {
+        // Regression for the historical sampling bias
+        // `candidates[rng.gen_range(0..candidates.len().min(6))]`, which
+        // could only ever move a node to the first six FUs of the candidate
+        // list — on an 8x8 fabric that bars annealing from most of the
+        // array. The fixed sampler draws indices over the full list.
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0001);
+        let len = 64; // an 8x8 fabric's candidate list
+        let mut seen = vec![false; len];
+        for _ in 0..400 {
+            for idx in sample_move_candidates(&mut rng, len) {
+                assert!(idx < len);
+                seen[idx] = true;
+            }
+        }
+        let beyond_six = seen.iter().skip(6).filter(|&&s| s).count();
+        assert!(
+            beyond_six > len / 2,
+            "moves only reach {beyond_six} candidates beyond index 5"
+        );
+        // Short lists still sample within bounds.
+        for _ in 0..50 {
+            for idx in sample_move_candidates(&mut rng, 3) {
+                assert!(idx < 3);
+            }
+        }
+        assert!(sample_move_candidates(&mut rng, 1).iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn maps_on_a_large_fabric_where_biased_sampling_starved_moves() {
+        let dfg = mac_kernel(4);
+        let arch = spatio_temporal::build(8, 8);
+        let mapping = SaMapper::default().map(&dfg, &arch).unwrap();
+        mapping.validate(&dfg, &arch).unwrap();
     }
 
     #[test]

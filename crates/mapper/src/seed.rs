@@ -1,0 +1,796 @@
+//! Warm-start placement seeds: serializable mapping snapshots that let a
+//! mapper skip work already done for a structurally related design point.
+//!
+//! A [`PlacementSeed`] captures the full solution of one successful mapping —
+//! placements, routes and the achieved II — together with a *fabric
+//! signature*: a content hash of everything in the architecture that the
+//! mapping search can observe (resources, capabilities, switch capacities,
+//! links, latencies, clusters). Crucially the signature excludes
+//! configuration-memory depth, which bounds the II ladder but never changes
+//! the routing structure, so design points that differ only in depth share a
+//! signature.
+//!
+//! Two reuse tiers follow from that:
+//!
+//! * **Exact replay** — when the seed's signature, mapper and options match
+//!   the target and every per-II attempt is a pure function of
+//!   `(dfg, fabric, ii)` (the mappers reseed their RNG per II), the target's
+//!   ladder provably reproduces the seed's result. The seed is re-validated
+//!   on the target fabric and returned directly; sweep results are
+//!   bit-identical to a cold run.
+//! * **Heuristic warm start** — across signatures (neighbouring
+//!   communication levels or array dimensions) the seed's placement is
+//!   translated by functional-unit ordinal and used as the starting point of
+//!   annealing / negotiation, falling back to greedy placement whenever a
+//!   translated assignment is infeasible on the new fabric.
+//!
+//! An [`InfeasiblePrefix`] transfers the complementary fact: a ladder that
+//! failed through II `k` on the same fabric structure proves every `ii <= k`
+//! infeasible, so a deeper configuration memory can start its ladder at
+//! `k + 1`.
+
+use serde::{Deserialize, Serialize};
+
+use plaid_arch::{Architecture, ResourceId, ResourceKind};
+use plaid_dfg::{Dfg, EdgeId, NodeId};
+
+use crate::mapping::{Mapping, Placement, Route, RouteHop};
+use crate::placement::MapState;
+
+/// FNV-1a over a stream of words (stable across platforms and runs).
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Content hash of everything the mapping search can observe about a fabric:
+/// execution class, resources (kind, capabilities, switch capacity, tile),
+/// links (endpoints, latency) and clusters. Parameters that only feed the
+/// cost model — configuration depth, bit budgets — are deliberately
+/// excluded, so design points differing only in configuration-memory depth
+/// share a signature and can exchange mapping results soundly.
+pub fn fabric_signature(arch: &Architecture) -> u64 {
+    signature(arch, true)
+}
+
+/// Like [`fabric_signature`], but with switch capacities erased: two fabrics
+/// share a no-capacity signature when they are identical up to communication
+/// provisioning (switch capacities). Together with a
+/// [`crate::state::CapacityCert`], this is what makes mapping results
+/// transferable across communication levels.
+pub fn fabric_signature_nocap(arch: &Architecture) -> u64 {
+    signature(arch, false)
+}
+
+/// Content hash of the DFG a seed or infeasibility proof was derived on:
+/// node operations (with immediates) and edge topology. A mapping result or
+/// ladder proof is only meaningful for the exact graph it was computed on,
+/// so [`plan_ladder`] ignores hints whose DFG fingerprint does not match the
+/// graph being mapped — a caller passing a hint captured from a different
+/// workload gets a scratch run, never a spurious fast-fail.
+pub fn dfg_fingerprint(dfg: &Dfg) -> u64 {
+    let mut h = Fnv::new();
+    h.word(dfg.node_count() as u64);
+    h.word(dfg.edge_count() as u64);
+    for node in dfg.nodes() {
+        h.word(u64::from(node.id.0));
+        h.bytes(format!("{:?}", node.op).as_bytes());
+        match node.immediate {
+            Some(imm) => {
+                h.word(1);
+                h.word(imm as u64);
+            }
+            None => h.word(0),
+        }
+    }
+    for edge in dfg.edges() {
+        h.word(u64::from(edge.id.0));
+        h.word(u64::from(edge.src.0));
+        h.word(u64::from(edge.dst.0));
+        h.bytes(format!("{:?}/{:?}", edge.operand, edge.kind).as_bytes());
+    }
+    h.0
+}
+
+fn signature(arch: &Architecture, with_capacities: bool) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(arch.class().label().as_bytes());
+    for r in arch.resources() {
+        h.word(u64::from(r.id.0));
+        h.word(r.tile as u64);
+        match r.kind {
+            ResourceKind::FuncUnit(caps) => {
+                h.word(1);
+                h.word(u64::from(caps.compute));
+                h.word(u64::from(caps.memory));
+            }
+            ResourceKind::Switch { capacity } => {
+                h.word(2);
+                h.word(if with_capacities {
+                    u64::from(capacity)
+                } else {
+                    0
+                });
+            }
+        }
+    }
+    for l in arch.links() {
+        h.word(u64::from(l.from.0));
+        h.word(u64::from(l.to.0));
+        h.word(u64::from(l.latency));
+    }
+    for c in arch.clusters() {
+        h.word(c.tile as u64);
+        for &fu in &c.alus {
+            h.word(u64::from(fu.0));
+        }
+        h.word(c.local_router.map(|r| u64::from(r.0) + 1).unwrap_or(0));
+    }
+    h.0
+}
+
+/// One seeded node placement (IDs are raw `u32`s so the seed serializes with
+/// no dependency on the DFG/arch types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedPlacement {
+    /// DFG node id.
+    pub node: u32,
+    /// Functional-unit resource id on the source fabric.
+    pub fu: u32,
+    /// Ordinal of `fu` among the source fabric's functional units, used to
+    /// translate the placement onto fabrics with a different layout.
+    pub fu_ordinal: u32,
+    /// Absolute schedule cycle.
+    pub cycle: u32,
+}
+
+/// One hop of a seeded route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedHop {
+    /// Switch resource id on the source fabric.
+    pub resource: u32,
+    /// Absolute cycle the value occupies the switch.
+    pub cycle: u32,
+}
+
+/// The seeded route of one data-carrying edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedRoute {
+    /// DFG edge id.
+    pub edge: u32,
+    /// Intermediate hops in traversal order.
+    pub hops: Vec<SeedHop>,
+}
+
+/// A serializable snapshot of one successful mapping, reusable as a
+/// warm-start seed for related design points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementSeed {
+    /// Name of the mapper that produced the mapping (`Mapper::name`).
+    pub mapper: String,
+    /// Fingerprint of the mapper options the mapping was produced under.
+    pub options: u64,
+    /// Fingerprint of the DFG the mapping places (see [`dfg_fingerprint`]).
+    pub dfg: u64,
+    /// Fabric signature of the source architecture.
+    pub fabric: u64,
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Functional units on the source fabric (for ordinal translation).
+    pub fu_count: u32,
+    /// Whether the mapping is the canonical (scratch-equivalent) result for
+    /// its design point. Only canonical seeds are eligible for exact replay;
+    /// heuristically warm-started results are marked non-canonical so they
+    /// never masquerade as what a cold run would have produced.
+    pub canonical: bool,
+    /// Fabric signature with switch capacities erased (see
+    /// [`fabric_signature_nocap`]).
+    pub fabric_nocap: u64,
+    /// Per-resource minimum switch capacities under which the ladder run
+    /// that produced this seed reproduces bit-for-bit (empty when the run is
+    /// not capacity-transferable — e.g. PathFinder, whose negotiation costs
+    /// read capacities directly, or a floored ladder whose skipped prefix
+    /// was proved on this fabric only).
+    pub cap_need: Vec<u32>,
+    /// Per-resource maximum switch capacities for the same guarantee
+    /// (`u32::MAX` when no query was ever refused at that resource).
+    pub cap_ceil: Vec<u32>,
+    /// Node placements, sorted by node id.
+    pub placements: Vec<SeedPlacement>,
+    /// Edge routes, sorted by edge id.
+    pub routes: Vec<SeedRoute>,
+}
+
+impl PlacementSeed {
+    /// Captures a seed from a finished mapping on the architecture it was
+    /// produced for, without a capacity certificate (the seed replays only
+    /// on fabrics with an identical full signature).
+    pub fn capture(
+        dfg: &Dfg,
+        mapping: &Mapping,
+        arch: &Architecture,
+        options: u64,
+        canonical: bool,
+    ) -> Self {
+        Self::capture_with_cert(dfg, mapping, arch, options, canonical, None)
+    }
+
+    /// Captures a seed carrying the capacity certificate of the ladder run
+    /// that produced the mapping, making it transferable to fabrics that
+    /// differ only in switch capacities within the certified bounds.
+    pub fn capture_with_cert(
+        dfg: &Dfg,
+        mapping: &Mapping,
+        arch: &Architecture,
+        options: u64,
+        canonical: bool,
+        cert: Option<&crate::state::CapacityCert>,
+    ) -> Self {
+        let fus: Vec<ResourceId> = arch.functional_units().map(|r| r.id).collect();
+        let ordinal_of = |fu: ResourceId| fus.iter().position(|&f| f == fu).unwrap_or(0) as u32;
+        let mut placements: Vec<SeedPlacement> = mapping
+            .placements
+            .iter()
+            .map(|(&node, p)| SeedPlacement {
+                node: node.0,
+                fu: p.fu.0,
+                fu_ordinal: ordinal_of(p.fu),
+                cycle: p.cycle,
+            })
+            .collect();
+        placements.sort_by_key(|p| p.node);
+        let mut routes: Vec<SeedRoute> = mapping
+            .routes
+            .iter()
+            .map(|(&edge, route)| SeedRoute {
+                edge: edge.0,
+                hops: route
+                    .hops
+                    .iter()
+                    .map(|h| SeedHop {
+                        resource: h.resource.0,
+                        cycle: h.cycle,
+                    })
+                    .collect(),
+            })
+            .collect();
+        routes.sort_by_key(|r| r.edge);
+        PlacementSeed {
+            mapper: mapping.mapper_name.clone(),
+            options,
+            dfg: dfg_fingerprint(dfg),
+            fabric: fabric_signature(arch),
+            ii: mapping.ii,
+            fu_count: fus.len() as u32,
+            canonical,
+            fabric_nocap: fabric_signature_nocap(arch),
+            cap_need: cert.map(|c| c.need()).unwrap_or_default(),
+            cap_ceil: cert.map(|c| c.ceil()).unwrap_or_default(),
+            placements,
+            routes,
+        }
+    }
+
+    /// Captures the seed of a mapping obtained by *replaying* `source` on
+    /// `arch`: the capacity certificate is inherited verbatim — the original
+    /// ladder's decision proof remains valid for any further fabric inside
+    /// the same bounds — while the full-fabric signature is re-anchored to
+    /// the replay target.
+    pub fn capture_inherited(
+        dfg: &Dfg,
+        mapping: &Mapping,
+        arch: &Architecture,
+        options: u64,
+        source: &PlacementSeed,
+    ) -> Self {
+        let mut seed = Self::capture(dfg, mapping, arch, options, true);
+        seed.cap_need = source.cap_need.clone();
+        seed.cap_ceil = source.cap_ceil.clone();
+        seed
+    }
+
+    /// Whether this seed is eligible for exact replay on a fabric with
+    /// signature `fabric` for a mapper named `mapper` running under options
+    /// fingerprint `options`.
+    pub fn replay_eligible(&self, fabric: u64, mapper: &str, options: u64) -> bool {
+        self.canonical && self.fabric == fabric && self.mapper == mapper && self.options == options
+    }
+
+    /// Whether the ladder run behind this seed provably reproduces on a
+    /// fabric with no-capacity signature `nocap` and the given per-resource
+    /// capacities: either the full signature matches outright, or every
+    /// capacity lies inside the certified `[need, ceil]` window.
+    pub fn transfers_to(&self, fabric: u64, nocap: u64, capacities: &[u32]) -> bool {
+        if self.fabric == fabric {
+            return true;
+        }
+        self.fabric_nocap == nocap
+            && !self.cap_need.is_empty()
+            && self.cap_need.len() == capacities.len()
+            && self.cap_ceil.len() == capacities.len()
+            && capacities
+                .iter()
+                .zip(self.cap_need.iter().zip(&self.cap_ceil))
+                .all(|(&cap, (&need, &ceil))| need <= cap && cap <= ceil)
+    }
+
+    /// Reconstructs the seed as a [`Mapping`] on `arch` and validates it
+    /// against `dfg`. Returns `None` when the seed does not describe a legal
+    /// mapping of this DFG on this fabric (corruption, workload mismatch).
+    pub fn replay(&self, dfg: &Dfg, arch: &Architecture) -> Option<Mapping> {
+        if self.ii == 0 {
+            return None;
+        }
+        let mapping = Mapping {
+            arch_name: arch.name().to_string(),
+            mapper_name: self.mapper.clone(),
+            ii: self.ii,
+            placements: self
+                .placements
+                .iter()
+                .map(|p| {
+                    (
+                        NodeId(p.node),
+                        Placement {
+                            fu: ResourceId(p.fu),
+                            cycle: p.cycle,
+                        },
+                    )
+                })
+                .collect(),
+            routes: self
+                .routes
+                .iter()
+                .map(|r| {
+                    (
+                        EdgeId(r.edge),
+                        Route {
+                            hops: r
+                                .hops
+                                .iter()
+                                .map(|h| RouteHop {
+                                    resource: ResourceId(h.resource),
+                                    cycle: h.cycle,
+                                })
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
+        };
+        // Ids must exist before `validate` may index into the DFG/arch.
+        let node_ok = self
+            .placements
+            .iter()
+            .all(|p| p.node < dfg.node_count() as u32);
+        let res_ok = self
+            .placements
+            .iter()
+            .all(|p| (p.fu as usize) < arch.resources().len())
+            && self
+                .routes
+                .iter()
+                .flat_map(|r| r.hops.iter())
+                .all(|h| (h.resource as usize) < arch.resources().len());
+        let edge_ok = self
+            .routes
+            .iter()
+            .all(|r| (r.edge as usize) < dfg.edge_count());
+        if !(node_ok && res_ok && edge_ok) {
+            return None;
+        }
+        mapping.validate(dfg, arch).ok().map(|()| mapping)
+    }
+}
+
+/// A proof that every II up to `through_ii` is infeasible for a given fabric
+/// structure, transferred from a failed ladder on a design point with a
+/// shallower configuration memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InfeasiblePrefix {
+    /// Fingerprint of the DFG the failure was proved on (see
+    /// [`dfg_fingerprint`]).
+    pub dfg: u64,
+    /// Fabric signature the failure was proved on.
+    pub fabric: u64,
+    /// Highest II proved infeasible.
+    pub through_ii: u32,
+}
+
+/// The warm-start hint threaded through `compile_workload_on` into the
+/// mappers: an optional placement seed plus an optional infeasibility proof.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MapSeed {
+    /// Placement seed from the nearest cached design point.
+    pub seed: Option<PlacementSeed>,
+    /// Ladder prefix proved infeasible on this fabric structure.
+    pub infeasible: Option<InfeasiblePrefix>,
+    /// Whether a seed that is not provably result-preserving may still be
+    /// used as a heuristic warm start. Exact-mode sweeps leave this off so
+    /// their results stay bit-identical to cold runs.
+    pub allow_warm: bool,
+}
+
+impl MapSeed {
+    /// A hint carrying only a placement seed (heuristic warm start allowed).
+    pub fn from_seed(seed: PlacementSeed) -> Self {
+        MapSeed {
+            seed: Some(seed),
+            infeasible: None,
+            allow_warm: true,
+        }
+    }
+}
+
+/// How a seeded mapping run arrived at its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedOutcome {
+    /// No seed information was used; the full ladder ran from scratch.
+    Scratch,
+    /// The ladder start was raised past a proven-infeasible prefix.
+    Floored,
+    /// The seed re-validated on the target fabric and was returned directly.
+    Replayed,
+    /// The result was produced from a heuristically translated seed
+    /// placement (non-canonical).
+    WarmStarted,
+}
+
+/// A mapping plus the provenance of how seeding contributed to it.
+#[derive(Debug, Clone)]
+pub struct SeededMapping {
+    /// The produced mapping.
+    pub mapping: Mapping,
+    /// How the seed was used.
+    pub outcome: SeedOutcome,
+    /// Snapshot of `mapping` for seeding neighbouring design points.
+    pub seed: PlacementSeed,
+}
+
+/// The ladder decision derived from a hint before any II attempt runs.
+#[derive(Debug)]
+pub(crate) enum LadderPlan<'a> {
+    /// The hint proves no II within `max_ii` can succeed.
+    Infeasible,
+    /// The seed replays exactly; no search needed.
+    Replay(&'a PlacementSeed),
+    /// Run the ladder from `start` (>= mii), optionally warm-starting each
+    /// attempt from a translated seed placement.
+    Ladder {
+        start: u32,
+        warm: Option<&'a PlacementSeed>,
+        floored: bool,
+    },
+}
+
+/// Everything about the target fabric a ladder plan needs to decide seed
+/// eligibility.
+#[derive(Debug)]
+pub(crate) struct SeedContext {
+    pub dfg: u64,
+    pub fabric: u64,
+    pub nocap: u64,
+    pub capacities: Vec<u32>,
+}
+
+impl SeedContext {
+    pub fn of(dfg: &Dfg, arch: &Architecture) -> Self {
+        SeedContext {
+            dfg: dfg_fingerprint(dfg),
+            fabric: fabric_signature(arch),
+            nocap: fabric_signature_nocap(arch),
+            capacities: arch.resources().iter().map(|r| r.kind.capacity()).collect(),
+        }
+    }
+}
+
+/// Derives the ladder plan for a mapper from an optional hint.
+///
+/// Soundness: every tier first requires the hint's DFG fingerprint to match
+/// the graph being mapped — results and proofs do not translate across
+/// workloads, and a mismatched hint is ignored rather than trusted. `Replay`
+/// is only produced for a canonical seed of the same
+/// mapper and options whose run provably reproduces on the target fabric —
+/// identical full signature, or identical no-capacity signature with every
+/// switch capacity inside the seed's certified window. The raised ladder
+/// `start` requires an infeasibility proof anchored to the target's full
+/// signature. Exact-mode sweeps therefore reproduce cold results
+/// bit-for-bit; anything weaker is demoted to a heuristic warm start (and
+/// only when the hint allows it).
+pub(crate) fn plan_ladder<'a>(
+    hint: Option<&'a MapSeed>,
+    ctx: &SeedContext,
+    mapper: &str,
+    options: u64,
+    mii: u32,
+    max_ii: u32,
+) -> LadderPlan<'a> {
+    let Some(hint) = hint else {
+        return LadderPlan::Ladder {
+            start: mii,
+            warm: None,
+            floored: false,
+        };
+    };
+    let mut start = mii;
+    let mut floored = false;
+    if let Some(prefix) = &hint.infeasible {
+        if prefix.dfg == ctx.dfg && prefix.fabric == ctx.fabric && prefix.through_ii >= start {
+            if prefix.through_ii >= max_ii {
+                return LadderPlan::Infeasible;
+            }
+            start = prefix.through_ii + 1;
+            floored = true;
+        }
+    }
+    let mut warm = None;
+    if let Some(seed) = &hint.seed {
+        let sound = seed.canonical
+            && seed.dfg == ctx.dfg
+            && seed.mapper == mapper
+            && seed.options == options
+            && seed.transfers_to(ctx.fabric, ctx.nocap, &ctx.capacities);
+        if sound {
+            if seed.ii <= max_ii {
+                return LadderPlan::Replay(seed);
+            }
+            // A canonical transferable result above this point's II bound
+            // proves the bounded ladder fails (its attempts are a prefix of
+            // the ladder that produced the seed).
+            return LadderPlan::Infeasible;
+        }
+        if hint.allow_warm {
+            warm = Some(seed);
+        }
+    }
+    LadderPlan::Ladder {
+        start,
+        warm,
+        floored,
+    }
+}
+
+/// Fingerprint of a mapper's options, via its `Debug` rendering. Stable
+/// within a build, which is all replay needs: seeds produced under different
+/// options must not replay for each other.
+pub(crate) fn options_fingerprint(options: &impl std::fmt::Debug) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(format!("{options:?}").as_bytes());
+    h.0
+}
+
+/// Applies a seed's placements to a fresh [`MapState`], translating
+/// functional units by ordinal when the target fabric differs from the
+/// source. Assignments that are infeasible on the target (capability
+/// mismatch, occupied modulo slot) are skipped — the caller completes the
+/// placement greedily. Returns the number of nodes placed.
+pub(crate) fn apply_seed_placement(state: &mut MapState<'_>, seed: &PlacementSeed) -> usize {
+    let target_fus: Vec<ResourceId> = state.arch.functional_units().map(|r| r.id).collect();
+    if target_fus.is_empty() {
+        return 0;
+    }
+    let same_fabric = seed.fabric == fabric_signature(state.arch);
+    let node_count = state.dfg.node_count() as u32;
+    let mut placed = 0;
+    for p in &seed.placements {
+        if p.node >= node_count {
+            continue;
+        }
+        let node = NodeId(p.node);
+        let fu = if same_fabric {
+            ResourceId(p.fu)
+        } else {
+            target_fus[p.fu_ordinal as usize % target_fus.len()]
+        };
+        let cycle = p.cycle % (state.ii * 2).max(1);
+        if state.can_place(node, fu, cycle) {
+            state.place(node, fu, cycle);
+            placed += 1;
+        }
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plaid_arch::{plaid, spatio_temporal};
+    use plaid_dfg::kernel::{AffineExpr, Expr, KernelBuilder};
+    use plaid_dfg::lower::{lower_kernel, LoweringOptions};
+    use plaid_dfg::Op;
+
+    use crate::pathfinder::PathFinderMapper;
+    use crate::Mapper;
+
+    fn small_dfg() -> Dfg {
+        let kernel = KernelBuilder::new("axpy")
+            .loop_var("i", 16)
+            .array("x", 16)
+            .array("y", 16)
+            .store(
+                "y",
+                AffineExpr::var(0),
+                Expr::binary(
+                    Op::Add,
+                    Expr::binary(Op::Mul, Expr::load("x", AffineExpr::var(0)), Expr::Const(3)),
+                    Expr::load("y", AffineExpr::var(0)),
+                ),
+            )
+            .build()
+            .unwrap();
+        lower_kernel(&kernel, &LoweringOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn signature_is_stable_and_structure_sensitive() {
+        let a = spatio_temporal::build(4, 4);
+        let b = spatio_temporal::build(4, 4);
+        assert_eq!(fabric_signature(&a), fabric_signature(&b));
+        let smaller = spatio_temporal::build(3, 3);
+        assert_ne!(fabric_signature(&a), fabric_signature(&smaller));
+        let other_class = plaid::build(2, 2);
+        assert_ne!(fabric_signature(&a), fabric_signature(&other_class));
+    }
+
+    #[test]
+    fn signature_ignores_configuration_depth() {
+        use plaid_arch::rebuild_provisioned;
+        let base = spatio_temporal::build(4, 4);
+        let mut params = base.params().clone();
+        params.config_entries = 4;
+        let shallow = rebuild_provisioned(&base, "shallow", params, |c| c);
+        assert_eq!(fabric_signature(&base), fabric_signature(&shallow));
+    }
+
+    #[test]
+    fn signature_tracks_switch_capacity() {
+        use plaid_arch::rebuild_provisioned;
+        let base = spatio_temporal::build(4, 4);
+        let richer = rebuild_provisioned(&base, "rich", base.params().clone(), |c| c + 1);
+        assert_ne!(fabric_signature(&base), fabric_signature(&richer));
+    }
+
+    #[test]
+    fn capture_replay_round_trip() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mapping = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        let seed = PlacementSeed::capture(&dfg, &mapping, &arch, 7, true);
+        assert_eq!(seed.ii, mapping.ii);
+        assert!(seed.replay_eligible(fabric_signature(&arch), "pathfinder", 7));
+        let replayed = seed.replay(&dfg, &arch).expect("seed replays");
+        assert_eq!(replayed.ii, mapping.ii);
+        assert_eq!(replayed.placements, mapping.placements);
+        assert_eq!(replayed.routes, mapping.routes);
+    }
+
+    #[test]
+    fn replay_rejects_wrong_fabric_and_options() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mapping = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        let seed = PlacementSeed::capture(&dfg, &mapping, &arch, 7, true);
+        let other = spatio_temporal::build(3, 3);
+        assert!(!seed.replay_eligible(fabric_signature(&other), "pathfinder", 7));
+        assert!(!seed.replay_eligible(fabric_signature(&arch), "sa", 7));
+        assert!(!seed.replay_eligible(fabric_signature(&arch), "pathfinder", 8));
+        // Validation also refuses to materialize the seed on the wrong
+        // fabric (resource ids out of range or links missing).
+        assert!(seed.replay(&dfg, &other).is_none());
+    }
+
+    #[test]
+    fn non_canonical_seeds_never_replay() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mapping = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        let seed = PlacementSeed::capture(&dfg, &mapping, &arch, 7, false);
+        assert!(!seed.replay_eligible(fabric_signature(&arch), "pathfinder", 7));
+    }
+
+    #[test]
+    fn ladder_plan_floors_and_fast_fails() {
+        let ctx = |fabric: u64| SeedContext {
+            dfg: 7,
+            fabric,
+            nocap: 0,
+            capacities: Vec::new(),
+        };
+        let fabric = 42u64;
+        let hint = MapSeed {
+            seed: None,
+            infeasible: Some(InfeasiblePrefix {
+                dfg: 7,
+                fabric,
+                through_ii: 8,
+            }),
+            allow_warm: false,
+        };
+        match plan_ladder(Some(&hint), &ctx(fabric), "sa", 0, 2, 16) {
+            LadderPlan::Ladder { start, floored, .. } => {
+                assert_eq!(start, 9);
+                assert!(floored);
+            }
+            other => panic!("expected floored ladder, got {other:?}"),
+        }
+        assert!(matches!(
+            plan_ladder(Some(&hint), &ctx(fabric), "sa", 0, 2, 8),
+            LadderPlan::Infeasible
+        ));
+        // A prefix proved on a different fabric is ignored.
+        match plan_ladder(Some(&hint), &ctx(fabric + 1), "sa", 0, 2, 8) {
+            LadderPlan::Ladder { start, floored, .. } => {
+                assert_eq!(start, 2);
+                assert!(!floored);
+            }
+            other => panic!("expected untouched ladder, got {other:?}"),
+        }
+        // A prefix proved on a different DFG is ignored too: proofs do not
+        // translate across workloads, even on the same fabric.
+        let other_dfg = SeedContext {
+            dfg: 8,
+            fabric,
+            nocap: 0,
+            capacities: Vec::new(),
+        };
+        match plan_ladder(Some(&hint), &other_dfg, "sa", 0, 2, 8) {
+            LadderPlan::Ladder { start, floored, .. } => {
+                assert_eq!(start, 2);
+                assert!(!floored);
+            }
+            other => panic!("expected untouched ladder, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_certificates_gate_cross_capacity_transfer() {
+        use crate::state::CapacityCert;
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mapping = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        let n = arch.resources().len();
+        let cert = CapacityCert::new(n);
+        let seed = PlacementSeed::capture_with_cert(&dfg, &mapping, &arch, 1, true, Some(&cert));
+        let nocap = fabric_signature_nocap(&arch);
+        // Same full signature always transfers.
+        assert!(seed.transfers_to(fabric_signature(&arch), nocap, &vec![4; n]));
+        // Untouched cert (need 0, ceil MAX): every capacity vector of the
+        // right length inside the window transfers.
+        assert!(seed.transfers_to(0, nocap, &vec![1; n]));
+        // Wrong no-capacity signature never transfers.
+        assert!(!seed.transfers_to(0, nocap ^ 1, &vec![1; n]));
+        // A seed without a certificate only transfers on exact signature.
+        let bare = PlacementSeed::capture(&dfg, &mapping, &arch, 1, true);
+        assert!(bare.transfers_to(fabric_signature(&arch), nocap, &vec![4; n]));
+        assert!(!bare.transfers_to(0, nocap, &vec![4; n]));
+    }
+
+    #[test]
+    fn seed_json_round_trip() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mapping = PathFinderMapper::default().map(&dfg, &arch).unwrap();
+        let seed = PlacementSeed::capture(&dfg, &mapping, &arch, 1, true);
+        let json = serde_json::to_string(&seed).unwrap();
+        let back: PlacementSeed = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, seed);
+    }
+}

@@ -10,16 +10,91 @@
 //! is tracked per `(resource, slot, value)` with reference counts.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use plaid_arch::{Architecture, ResourceId};
 use plaid_dfg::NodeId;
 
+/// A monotone record of every capacity decision a mapping search made.
+///
+/// `fits` is the *only* way the hard-capacity mappers observe switch
+/// capacities, so the search's entire decision sequence is a pure function
+/// of `(dfg, fabric-without-capacities, ii)` *plus* the answers `fits`
+/// returned. For each resource the certificate tracks:
+///
+/// * `need` — the largest occupancy an *admitted* query saw, plus one: any
+///   capacity `>= need` answers those queries identically (true);
+/// * `ceil` — the smallest occupancy a *refused* query saw: any capacity
+///   `<= ceil` answers those queries identically (false).
+///
+/// A completed search therefore reproduces bit-for-bit on any fabric that is
+/// identical up to switch capacities `c` with `need <= c <= ceil` — the
+/// soundness basis for transferring mapping results across communication
+/// provisioning levels.
+///
+/// The certificate is shared (`Arc`) across state clones: mappers snapshot
+/// and roll back states freely, but a rolled-back branch still *consulted*
+/// capacities, so its observations must survive the rollback.
+#[derive(Debug, Default)]
+pub struct CapacityCert {
+    need: Vec<AtomicU32>,
+    ceil: Vec<AtomicU32>,
+}
+
+impl CapacityCert {
+    /// An empty certificate for `resource_count` resources.
+    pub fn new(resource_count: usize) -> Self {
+        CapacityCert {
+            need: (0..resource_count).map(|_| AtomicU32::new(0)).collect(),
+            ceil: (0..resource_count)
+                .map(|_| AtomicU32::new(u32::MAX))
+                .collect(),
+        }
+    }
+
+    fn admit(&self, resource: u32, occupancy_plus_one: u32) {
+        self.need[resource as usize].fetch_max(occupancy_plus_one, Ordering::Relaxed);
+    }
+
+    fn block(&self, resource: u32, occupancy: u32) {
+        self.ceil[resource as usize].fetch_min(occupancy, Ordering::Relaxed);
+    }
+
+    /// Per-resource minimum capacities the recorded decisions require.
+    pub fn need(&self) -> Vec<u32> {
+        self.need
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-resource maximum capacities the recorded decisions allow.
+    pub fn ceil(&self) -> Vec<u32> {
+        self.ceil
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
 /// Per-(resource, modulo-slot) occupancy with value sharing.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RoutingState {
     ii: u32,
     capacities: Vec<u32>,
     occupancy: HashMap<(u32, u32), HashMap<u32, u32>>,
+    cert: Arc<CapacityCert>,
+}
+
+/// Equality ignores the capacity certificate (it is telemetry about the
+/// search, not part of the mapping state).
+impl PartialEq for RoutingState {
+    fn eq(&self, other: &Self) -> bool {
+        self.ii == other.ii
+            && self.capacities == other.capacities
+            && self.occupancy == other.occupancy
+    }
 }
 
 impl RoutingState {
@@ -29,11 +104,27 @@ impl RoutingState {
     ///
     /// Panics if `ii` is zero.
     pub fn new(arch: &Architecture, ii: u32) -> Self {
+        Self::with_cert(
+            arch,
+            ii,
+            Arc::new(CapacityCert::new(arch.resources().len())),
+        )
+    }
+
+    /// Like [`RoutingState::new`], but records capacity decisions into an
+    /// externally owned certificate — mappers pass one accumulator across
+    /// every II attempt of a ladder so the certificate covers the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii` is zero.
+    pub fn with_cert(arch: &Architecture, ii: u32, cert: Arc<CapacityCert>) -> Self {
         assert!(ii > 0, "initiation interval must be positive");
         RoutingState {
             ii,
             capacities: arch.resources().iter().map(|r| r.kind.capacity()).collect(),
             occupancy: HashMap::new(),
+            cert,
         }
     }
 
@@ -71,11 +162,27 @@ impl RoutingState {
 
     /// Whether `value` could occupy `(resource, slot)` without exceeding the
     /// capacity (values already present occupy no additional space).
+    ///
+    /// Every capacity-consulting answer is recorded in the shared
+    /// [`CapacityCert`]; answers that do not depend on the capacity (the
+    /// value is already present) are not.
     pub fn fits(&self, resource: ResourceId, slot: u32, value: NodeId) -> bool {
         let cap = self.capacities[resource.0 as usize];
-        match self.occupancy.get(&(resource.0, slot)) {
-            Some(m) => m.contains_key(&value.0) || (m.len() as u32) < cap,
-            None => cap > 0,
+        let occupancy = match self.occupancy.get(&(resource.0, slot)) {
+            Some(m) => {
+                if m.contains_key(&value.0) {
+                    return true;
+                }
+                m.len() as u32
+            }
+            None => 0,
+        };
+        if occupancy < cap {
+            self.cert.admit(resource.0, occupancy + 1);
+            true
+        } else {
+            self.cert.block(resource.0, occupancy);
+            false
         }
     }
 

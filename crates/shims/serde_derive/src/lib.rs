@@ -253,14 +253,18 @@ fn gen_serialize(shape: &Shape) -> String {
 fn gen_deserialize(shape: &Shape) -> String {
     match shape {
         Shape::Struct { name, fields } => {
+            // Missing fields deserialize from `Null`, so `Option<T>` fields
+            // may be omitted (matching serde's behaviour); non-optional
+            // fields still produce a missing-field error.
             let extracts: String = fields
                 .iter()
                 .map(|f| {
                     format!(
-                        "{f}: serde::Deserialize::deserialize(\n\
-                             obj.get({f:?})\n\
-                                 .ok_or_else(|| serde::Error::missing_field({name:?}, {f:?}))?\n\
-                         )?,\n"
+                        "{f}: match obj.get({f:?}) {{\n\
+                             Some(v) => serde::Deserialize::deserialize(v)?,\n\
+                             None => serde::Deserialize::deserialize(&serde::Value::Null)\n\
+                                 .map_err(|_| serde::Error::missing_field({name:?}, {f:?}))?,\n\
+                         }},\n"
                     )
                 })
                 .collect();

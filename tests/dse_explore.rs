@@ -4,7 +4,8 @@
 use plaid::pipeline::{compile_workload, ArchChoice, CompileSummary, MapperChoice};
 use plaid_arch::{ArchClass, CommLevel, DesignPoint, SpaceSpec};
 use plaid_explore::{
-    run_sweep, EvalRecord, FrontierReport, Objectives, ResultCache, SweepOutcome, SweepPlan,
+    run_sweep, run_sweep_with, EvalRecord, FrontierReport, Objectives, ResultCache, SeedPolicy,
+    SweepOutcome, SweepPlan,
 };
 use plaid_workloads::find_workload;
 
@@ -211,4 +212,26 @@ fn objectives_dominance_matches_frontier_membership() {
     ];
     let keep = plaid_explore::pareto_indices(&objs);
     assert_eq!(keep, vec![0, 2, 3]);
+}
+
+#[test]
+fn exact_seeding_preserves_the_frontier_bit_for_bit() {
+    // The warm-start acceptance property: an exactly-seeded sweep must emit
+    // the same frontier JSON as a cold sweep of the same plan, while
+    // actually exercising the seeding path (seeded > 0).
+    let plan = small_plan();
+    let cold = run_sweep_with(&plan, &ResultCache::new(), SeedPolicy::Off);
+    let seeded = run_sweep_with(&plan, &ResultCache::new(), SeedPolicy::Exact);
+    assert!(seeded.stats.seeded > 0, "plan must exercise warm starts");
+    assert!(
+        seeded.stats.seed_hits > 0,
+        "warm starts must demonstrably skip work"
+    );
+    let cold_json = serde_json::to_string(&FrontierReport::from_records(&cold.records)).unwrap();
+    let seeded_json =
+        serde_json::to_string(&FrontierReport::from_records(&seeded.records)).unwrap();
+    assert_eq!(cold_json, seeded_json);
+    // Off-policy stats never report seeding activity.
+    assert_eq!(cold.stats.seeded, 0);
+    assert_eq!(cold.stats.seed_hits, 0);
 }

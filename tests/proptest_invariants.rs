@@ -159,3 +159,109 @@ mod mapping_properties {
         }
     }
 }
+
+/// Warm-start invariants: on any random DFG, a seeded `SaMapper` or
+/// `PathFinderMapper` run produces a valid mapping that is never slower
+/// (achieved II, hence total cycles) than the unseeded run on the same
+/// point, and a seed captured on an incompatible fabric falls back to the
+/// exact cold result.
+mod warm_start_properties {
+    use super::*;
+    use plaid_arch::spatio_temporal;
+    use plaid_mapper::{MapSeed, PathFinderMapper, SaMapper, SeededMapping};
+    use proptest::test_runner::TestCaseError;
+
+    /// Runs one mapper closure cold and seeded-with-its-own-seed, checking
+    /// the seeded result is valid and no slower.
+    fn check_self_seed(
+        dfg: &Dfg,
+        map: impl Fn(Option<&MapSeed>) -> Result<SeededMapping, plaid_mapper::MapError>,
+    ) -> Result<(), TestCaseError> {
+        let arch = spatio_temporal::build(4, 4);
+        let Ok(cold) = map(None) else {
+            // Nothing to compare against; infeasible DFGs are exercised by
+            // the fallback property below.
+            return Ok(());
+        };
+        let hint = MapSeed {
+            seed: Some(cold.seed.clone()),
+            infeasible: None,
+            allow_warm: false,
+        };
+        let warm = map(Some(&hint));
+        prop_assert!(warm.is_ok(), "own seed must replay");
+        let warm = warm.unwrap();
+        prop_assert!(warm.mapping.validate(dfg, &arch).is_ok());
+        prop_assert!(warm.mapping.ii <= cold.mapping.ii);
+        let iterations = dfg.total_iterations();
+        prop_assert!(
+            warm.mapping.total_cycles(iterations) <= cold.mapping.total_cycles(iterations)
+        );
+        Ok(())
+    }
+
+    /// Seeds captured on a structurally different fabric must not change
+    /// the result: the mapper rejects the replay and anneals from scratch,
+    /// reproducing the cold mapping exactly.
+    fn check_foreign_seed_fallback(
+        donor: impl Fn() -> Result<SeededMapping, plaid_mapper::MapError>,
+        map: impl Fn(Option<&MapSeed>) -> Result<SeededMapping, plaid_mapper::MapError>,
+    ) -> Result<(), TestCaseError> {
+        let Ok(foreign) = donor() else {
+            return Ok(());
+        };
+        let hint = MapSeed {
+            seed: Some(foreign.seed),
+            infeasible: None,
+            allow_warm: false,
+        };
+        match (map(None), map(Some(&hint))) {
+            (Ok(cold), Ok(warm)) => {
+                prop_assert_eq!(warm.mapping.ii, cold.mapping.ii);
+                prop_assert_eq!(warm.mapping.placements, cold.mapping.placements);
+                prop_assert_eq!(warm.mapping.routes, cold.mapping.routes);
+            }
+            (Err(_), Err(_)) => {}
+            (cold, warm) => {
+                return Err(TestCaseError::fail(format!(
+                    "foreign seed changed feasibility: cold ok={} warm ok={}",
+                    cold.is_ok(),
+                    warm.is_ok()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn seeded_sa_runs_validate_and_never_regress(dfg in arbitrary_dfg()) {
+            let arch = spatio_temporal::build(4, 4);
+            check_self_seed(&dfg, |hint| SaMapper::default().map_with_seed(&dfg, &arch, hint))?;
+        }
+
+        #[test]
+        fn seeded_pathfinder_runs_validate_and_never_regress(dfg in arbitrary_dfg()) {
+            let arch = spatio_temporal::build(4, 4);
+            check_self_seed(&dfg, |hint| {
+                PathFinderMapper::default().map_with_seed(&dfg, &arch, hint)
+            })?;
+        }
+
+        #[test]
+        fn foreign_seeds_fall_back_to_the_cold_result(dfg in arbitrary_dfg()) {
+            let arch = spatio_temporal::build(4, 4);
+            let small = spatio_temporal::build(3, 3);
+            check_foreign_seed_fallback(
+                || SaMapper::default().map_with_seed(&dfg, &small, None),
+                |hint| SaMapper::default().map_with_seed(&dfg, &arch, hint),
+            )?;
+            check_foreign_seed_fallback(
+                || PathFinderMapper::default().map_with_seed(&dfg, &small, None),
+                |hint| PathFinderMapper::default().map_with_seed(&dfg, &arch, hint),
+            )?;
+        }
+    }
+}
