@@ -77,6 +77,23 @@ impl Cluster {
     }
 }
 
+/// Process-unique identity of one built fabric, excluded from structural
+/// equality (clones share it; two separately built identical fabrics
+/// differ). Consumers cache derived data (e.g. the mapper's reachability
+/// tables) keyed by this id: ids are never reused, so a stale cache entry
+/// can never alias a new fabric, and clones — structurally identical by
+/// construction — share cache entries soundly.
+#[derive(Debug, Clone, Copy)]
+struct InstanceId(u64);
+
+impl PartialEq for InstanceId {
+    fn eq(&self, _: &Self) -> bool {
+        true // identity is not part of the structural value
+    }
+}
+
+static NEXT_INSTANCE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// A complete CGRA instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Architecture {
@@ -89,9 +106,17 @@ pub struct Architecture {
     tile_positions: Vec<Position>,
     out_adjacency: Vec<Vec<usize>>,
     in_adjacency: Vec<Vec<usize>>,
+    instance: InstanceId,
 }
 
 impl Architecture {
+    /// Process-unique id of this built fabric (shared by clones, never
+    /// reused). Lets consumers key caches of structure-derived data without
+    /// address-aliasing hazards; not part of structural equality.
+    pub fn instance_id(&self) -> u64 {
+        self.instance.0
+    }
+
     /// Architecture name, e.g. `"plaid-2x2"`.
     pub fn name(&self) -> &str {
         &self.name
@@ -397,6 +422,9 @@ impl ArchBuilder {
             tile_positions: self.tile_positions,
             out_adjacency,
             in_adjacency,
+            instance: InstanceId(
+                NEXT_INSTANCE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            ),
         };
         arch.assert_consistent();
         arch

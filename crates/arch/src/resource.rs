@@ -103,8 +103,10 @@ mod tests {
 
     #[test]
     fn fu_caps_constants() {
-        assert!(FuCaps::ALU.compute && !FuCaps::ALU.memory);
-        assert!(FuCaps::ALSU.compute && FuCaps::ALSU.memory);
+        let alu = FuCaps::ALU;
+        let alsu = FuCaps::ALSU;
+        assert!(alu.compute && !alu.memory);
+        assert!(alsu.compute && alsu.memory);
     }
 
     #[test]

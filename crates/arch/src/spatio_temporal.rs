@@ -94,7 +94,7 @@ mod tests {
             let router = cluster.global_router;
             let degree = arch
                 .out_links(router)
-                .filter(|l| l.to != router && arch.resource(l.to).kind.is_func_unit() == false)
+                .filter(|l| l.to != router && !arch.resource(l.to).kind.is_func_unit())
                 .count();
             assert!((2..=4).contains(&degree), "router degree {degree}");
         }

@@ -1,0 +1,139 @@
+//! Precomputed per-node edge adjacency.
+//!
+//! [`Dfg`]'s structural queries (`in_edges`, `out_edges`, incident-edge
+//! scans) walk the full edge list on every call, which is fine for one-shot
+//! analyses but quadratic inside a mapper's move loop: a simulated-annealing
+//! move rips up one node and touches only its incident edges, yet pays
+//! `O(E)` to find them. An [`Adjacency`] is built once per graph in `O(V+E)`
+//! and answers the same queries in `O(degree)`, preserving the exact
+//! edge-id ordering the linear scans produce so search results are
+//! bit-identical either way.
+
+use crate::graph::{Dfg, EdgeId, NodeId};
+
+/// Per-node incident-edge index of a [`Dfg`], frozen at construction.
+///
+/// All edge lists are in ascending edge-id order — the same order the
+/// corresponding `Dfg` scans (`in_edges`, `out_edges`, and an
+/// `edges().filter(src == n || dst == n)` incident scan) yield — so code can
+/// switch between the two forms without changing iteration order. Self-loop
+/// edges (`src == dst`, possible for recurrences) appear once in `incident`
+/// but in both `ins` and `outs`, matching the scans they replace.
+#[derive(Debug, Clone, Default)]
+pub struct Adjacency {
+    ins: Vec<Vec<EdgeId>>,
+    outs: Vec<Vec<EdgeId>>,
+    incident: Vec<Vec<EdgeId>>,
+    data_carrying_edges: usize,
+}
+
+impl Adjacency {
+    /// Builds the index for `dfg` in one pass over its edges.
+    pub fn of(dfg: &Dfg) -> Self {
+        let n = dfg.node_count();
+        let mut adj = Adjacency {
+            ins: vec![Vec::new(); n],
+            outs: vec![Vec::new(); n],
+            incident: vec![Vec::new(); n],
+            data_carrying_edges: 0,
+        };
+        for edge in dfg.edges() {
+            adj.outs[edge.src.0 as usize].push(edge.id);
+            adj.ins[edge.dst.0 as usize].push(edge.id);
+            adj.incident[edge.src.0 as usize].push(edge.id);
+            if edge.dst != edge.src {
+                adj.incident[edge.dst.0 as usize].push(edge.id);
+            }
+            if dfg.edge_carries_data(edge) {
+                adj.data_carrying_edges += 1;
+            }
+        }
+        adj
+    }
+
+    /// Edges arriving at `node`, ascending by edge id.
+    pub fn ins(&self, node: NodeId) -> &[EdgeId] {
+        &self.ins[node.0 as usize]
+    }
+
+    /// Edges leaving `node`, ascending by edge id.
+    pub fn outs(&self, node: NodeId) -> &[EdgeId] {
+        &self.outs[node.0 as usize]
+    }
+
+    /// Edges touching `node` at either endpoint, ascending by edge id
+    /// (self-loops listed once).
+    pub fn incident(&self, node: NodeId) -> &[EdgeId] {
+        &self.incident[node.0 as usize]
+    }
+
+    /// Number of edges that transport a value between functional units
+    /// (see [`Dfg::edge_carries_data`]).
+    pub fn data_carrying_edges(&self) -> usize {
+        self.data_carrying_edges
+    }
+
+    /// Number of nodes the index was built for.
+    pub fn node_count(&self) -> usize {
+        self.incident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, Operand};
+    use crate::kernel::AffineExpr;
+    use crate::op::Op;
+
+    fn sample() -> Dfg {
+        let mut dfg = Dfg::new("adj");
+        let ld = dfg.add_load("ld", "x", AffineExpr::var(0));
+        let a = dfg.add_compute_node("a", Op::Add);
+        let b = dfg.add_compute_node("b", Op::Mul);
+        dfg.set_immediate(a, 1).unwrap();
+        dfg.set_immediate(b, 2).unwrap();
+        dfg.add_edge(ld, a, Operand::Lhs, EdgeKind::Data).unwrap();
+        dfg.add_edge(a, b, Operand::Lhs, EdgeKind::Data).unwrap();
+        dfg.add_edge(b, b, Operand::Rhs, EdgeKind::Recurrence { distance: 1 })
+            .unwrap();
+        dfg
+    }
+
+    #[test]
+    fn matches_linear_scans_on_every_node() {
+        let dfg = sample();
+        let adj = Adjacency::of(&dfg);
+        for node in dfg.node_ids() {
+            let ins: Vec<EdgeId> = dfg.in_edges(node).map(|e| e.id).collect();
+            let outs: Vec<EdgeId> = dfg.out_edges(node).map(|e| e.id).collect();
+            let incident: Vec<EdgeId> = dfg
+                .edges()
+                .filter(|e| e.src == node || e.dst == node)
+                .map(|e| e.id)
+                .collect();
+            assert_eq!(adj.ins(node), ins.as_slice());
+            assert_eq!(adj.outs(node), outs.as_slice());
+            assert_eq!(adj.incident(node), incident.as_slice());
+        }
+    }
+
+    #[test]
+    fn self_loop_listed_once_in_incident() {
+        let dfg = sample();
+        let adj = Adjacency::of(&dfg);
+        let b = NodeId(2);
+        assert_eq!(adj.incident(b).len(), 2); // a->b plus the self recurrence
+        assert_eq!(adj.ins(b).len(), 2);
+        assert_eq!(adj.outs(b).len(), 1);
+    }
+
+    #[test]
+    fn counts_data_carrying_edges() {
+        let dfg = sample();
+        let adj = Adjacency::of(&dfg);
+        let expect = dfg.edges().filter(|e| dfg.edge_carries_data(e)).count();
+        assert_eq!(adj.data_carrying_edges(), expect);
+        assert_eq!(adj.node_count(), dfg.node_count());
+    }
+}

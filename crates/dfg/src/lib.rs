@@ -12,6 +12,8 @@
 //! * [`lower`] — DFG generation from the kernel IR, including loop unrolling.
 //! * [`interp`] — reference interpreters for both the kernel IR and the DFG,
 //!   used to functionally verify mappings produced further up the stack.
+//! * [`adjacency`] — a per-node incident-edge index built once per graph,
+//!   giving mappers `O(degree)` edge queries in their move loops.
 //! * [`dot`] — Graphviz export for debugging and documentation.
 //!
 //! # Example
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adjacency;
 pub mod dot;
 pub mod error;
 pub mod graph;
@@ -49,6 +52,7 @@ pub mod kernel;
 pub mod lower;
 pub mod op;
 
+pub use adjacency::Adjacency;
 pub use error::DfgError;
 pub use graph::{Dfg, DfgEdge, DfgNode, EdgeId, EdgeKind, NodeId, Operand};
 pub use kernel::{AffineExpr, ArrayDecl, Expr, Kernel, KernelBuilder, LoopVar, Stmt};

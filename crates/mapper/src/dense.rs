@@ -1,0 +1,210 @@
+//! Dense maps over the contiguous `NodeId`/`EdgeId` id spaces.
+//!
+//! DFG node and edge ids are assigned densely from zero, so the mapper's
+//! per-node placement and per-edge route tables need no hashing at all: a
+//! [`DenseMap`] is a flat `Vec<Option<V>>` indexed by id, turning the
+//! `contains_key`/`get` calls the move loop issues dozens of times per move
+//! into single indexed loads. The API mirrors the `HashMap` subset the
+//! mappers use, so call sites read identically.
+
+use std::marker::PhantomData;
+use std::ops::Index;
+
+use plaid_dfg::{EdgeId, NodeId};
+
+/// A copyable key drawn from a dense `u32` id space starting at zero.
+pub trait DenseKey: Copy {
+    /// Position of this key in its id space.
+    fn dense_index(self) -> usize;
+    /// Key at `index` of the id space.
+    fn from_dense_index(index: usize) -> Self;
+}
+
+impl DenseKey for NodeId {
+    fn dense_index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_dense_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl DenseKey for EdgeId {
+    fn dense_index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_dense_index(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+}
+
+/// A map from a dense id space to values, stored as a flat slot vector.
+#[derive(Debug, Clone)]
+pub struct DenseMap<K: DenseKey, V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+    _key: PhantomData<K>,
+}
+
+impl<K: DenseKey, V> DenseMap<K, V> {
+    /// An empty map sized for ids `0..universe` (it grows if exceeded).
+    pub fn for_universe(universe: usize) -> Self {
+        DenseMap {
+            slots: (0..universe).map(|_| None).collect(),
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `key` has an entry.
+    pub fn contains_key(&self, key: &K) -> bool {
+        matches!(self.slots.get(key.dense_index()), Some(Some(_)))
+    }
+
+    /// The entry of `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.slots.get(key.dense_index()).and_then(Option::as_ref)
+    }
+
+    /// Inserts an entry, returning the previous value of `key` if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let idx = key.dense_index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let old = self.slots[idx].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the entry of `key`, if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let old = self.slots.get_mut(key.dense_index()).and_then(Option::take);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Iterator over present values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Iterator over `(key, &value)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (K::from_dense_index(i), v)))
+    }
+
+    /// Consumes the map into `(key, value)` pairs in ascending key order.
+    pub fn into_entries(self) -> impl Iterator<Item = (K, V)> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (K::from_dense_index(i), v)))
+    }
+}
+
+/// Equality over `(key, value)` entries — keys matter, universe size does
+/// not (trailing empty slots are ignored).
+impl<K: DenseKey, V: PartialEq> PartialEq for DenseMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let max = self.slots.len().max(other.slots.len());
+        (0..max).all(|i| {
+            self.slots.get(i).and_then(Option::as_ref)
+                == other.slots.get(i).and_then(Option::as_ref)
+        })
+    }
+}
+
+impl<K: DenseKey, V> Index<&K> for DenseMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: &K) -> &V {
+        self.get(key).expect("no entry for key in DenseMap")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m: DenseMap<NodeId, u32> = DenseMap::for_universe(4);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(NodeId(2), 7), None);
+        assert_eq!(m.insert(NodeId(2), 9), Some(7));
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&NodeId(2)));
+        assert_eq!(m.get(&NodeId(2)), Some(&9));
+        assert_eq!(m[&NodeId(2)], 9);
+        assert_eq!(m.remove(&NodeId(2)), Some(9));
+        assert_eq!(m.remove(&NodeId(2)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn grows_beyond_declared_universe() {
+        let mut m: DenseMap<EdgeId, &str> = DenseMap::for_universe(1);
+        m.insert(EdgeId(10), "x");
+        assert_eq!(m.get(&EdgeId(10)), Some(&"x"));
+        assert_eq!(m.get(&EdgeId(3)), None);
+        assert!(!m.contains_key(&EdgeId(99)));
+    }
+
+    #[test]
+    fn equality_ignores_universe_size() {
+        let mut a: DenseMap<NodeId, u32> = DenseMap::for_universe(2);
+        let mut b: DenseMap<NodeId, u32> = DenseMap::for_universe(16);
+        a.insert(NodeId(1), 5);
+        b.insert(NodeId(1), 5);
+        assert_eq!(a, b);
+        b.insert(NodeId(0), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equality_distinguishes_equal_values_at_different_keys() {
+        let mut a: DenseMap<NodeId, u32> = DenseMap::for_universe(4);
+        let mut b: DenseMap<NodeId, u32> = DenseMap::for_universe(4);
+        a.insert(NodeId(0), 7);
+        b.insert(NodeId(1), 7);
+        assert_ne!(a, b, "same value under a different key is a different map");
+        b.remove(&NodeId(1));
+        b.insert(NodeId(0), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iteration_is_in_key_order() {
+        let mut m: DenseMap<NodeId, u32> = DenseMap::for_universe(8);
+        m.insert(NodeId(5), 50);
+        m.insert(NodeId(1), 10);
+        m.insert(NodeId(3), 30);
+        let pairs: Vec<(u32, u32)> = m.iter().map(|(k, &v)| (k.0, v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (3, 30), (5, 50)]);
+        let owned: Vec<(u32, u32)> = m.into_entries().map(|(k, v)| (k.0, v)).collect();
+        assert_eq!(owned, vec![(1, 10), (3, 30), (5, 50)]);
+    }
+}

@@ -8,7 +8,9 @@
 //! overused; otherwise the II is increased.
 
 use plaid_arch::Architecture;
-use plaid_dfg::{Dfg, NodeId};
+use std::sync::Arc;
+
+use plaid_dfg::{Adjacency, Dfg, EdgeId, NodeId};
 
 use crate::error::MapError;
 use crate::mapping::Mapping;
@@ -57,8 +59,9 @@ impl PathFinderMapper {
         arch: &'a Architecture,
         ii: u32,
         warm: Option<&PlacementSeed>,
+        dfg_adj: &Arc<Adjacency>,
     ) -> Option<MapState<'a>> {
-        let mut state = MapState::new(dfg, arch, ii);
+        let mut state = MapState::with_adjacency(dfg, arch, ii, Arc::clone(dfg_adj));
         // Placement uses the hard-capacity policy so the starting point is
         // already congestion-aware; negotiation then owns the routing. A
         // warm seed pre-places what translates onto the new fabric and the
@@ -82,7 +85,7 @@ impl PathFinderMapper {
                 placed_ok = false;
             }
             if !placed_ok {
-                state = MapState::new(dfg, arch, ii);
+                state = MapState::with_adjacency(dfg, arch, ii, Arc::clone(dfg_adj));
             }
         }
         if !placed_ok && !greedy_place(&mut state, &HardCapacityCost) {
@@ -94,9 +97,8 @@ impl PathFinderMapper {
         let mut policy = NegotiatedCost::new(arch.resources().len());
         for _round in 0..self.options.max_rounds {
             // Rip up all routes and re-route under the current history costs.
-            let edges: Vec<_> = dfg.edges().map(|e| e.id).collect();
-            for e in &edges {
-                state.unroute(*e);
+            for e in 0..dfg.edge_count() as u32 {
+                state.unroute(EdgeId(e));
             }
             let unrouted = state.route_all(&policy);
             if unrouted == 0 && state.state.total_overuse() == 0 {
@@ -171,8 +173,10 @@ impl PathFinderMapper {
                     floored,
                 } => (start, warm, floored),
             };
+        // One adjacency index serves every II attempt of the ladder.
+        let dfg_adj = Arc::new(Adjacency::of(dfg));
         for ii in start..=max_ii {
-            if let Some(state) = self.attempt_ii(dfg, arch, ii, None) {
+            if let Some(state) = self.attempt_ii(dfg, arch, ii, None, &dfg_adj) {
                 let mapping = state.into_mapping(self.name());
                 mapping.validate(dfg, arch)?;
                 let outcome = if floored {
@@ -187,7 +191,7 @@ impl PathFinderMapper {
                 });
             }
             if let Some(seed) = warm {
-                if let Some(state) = self.attempt_ii(dfg, arch, ii, Some(seed)) {
+                if let Some(state) = self.attempt_ii(dfg, arch, ii, Some(seed), &dfg_adj) {
                     let mapping = state.into_mapping(self.name());
                     mapping.validate(dfg, arch)?;
                     return Ok(SeededMapping {

@@ -4,18 +4,66 @@
 //! edge routes and the modulo occupancy table. Mappers mutate it through
 //! place/unplace and route/unroute operations and read a scalar cost that
 //! combines unrouted edges, route length and congestion.
+//!
+//! The state is an *incremental kernel*: every mutating primitive appends
+//! its inverse to a move journal while a transaction is open, so a rejected
+//! annealing move is undone by replaying O(move) deltas instead of restoring
+//! an O(state) snapshot ([`MapState::begin_txn`] / [`MapState::commit_txn`]
+//! / [`MapState::rollback_txn`]). Aggregates the move loop reads every
+//! iteration — unrouted-edge count, total hop count, total overuse — are
+//! maintained by the primitives, making [`MapState::cost`] O(1), and edge
+//! queries go through a per-DFG [`Adjacency`] index instead of scanning the
+//! edge list.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use plaid_arch::{Architecture, ResourceId};
-use plaid_dfg::{Dfg, DfgEdge, EdgeId, EdgeKind, NodeId};
+use plaid_dfg::{Adjacency, Dfg, DfgEdge, EdgeId, EdgeKind, NodeId};
 
+use crate::dense::DenseMap;
 use crate::mapping::{Mapping, Placement, Route};
-use crate::route::{commit_route, find_route, release_route, CostPolicy, RouteRequest};
+use crate::route::{
+    commit_route, find_route_in, release_route, CostPolicy, RouteRequest, RouterScratch,
+};
 use crate::state::RoutingState;
 
 /// Cost charged for every data-carrying edge that could not be routed.
 pub const UNROUTED_PENALTY: f64 = 1_000.0;
+
+/// Search-wide state shared by every II attempt of one ladder: the
+/// capacity certificate accumulating across attempts (including failed
+/// ones) and the DFG adjacency index, both built once per `map_with_seed`.
+pub(crate) struct LadderShared {
+    /// Capacity-decision accumulator for the whole ladder.
+    pub cert: Arc<crate::state::CapacityCert>,
+    /// Incident-edge index of the DFG being mapped.
+    pub adj: Arc<Adjacency>,
+}
+
+impl LadderShared {
+    /// Builds the shared state for one search over `dfg` on `arch`.
+    pub fn of(dfg: &Dfg, arch: &Architecture) -> Self {
+        LadderShared {
+            cert: Arc::new(crate::state::CapacityCert::new(arch.resources().len())),
+            adj: Arc::new(Adjacency::of(dfg)),
+        }
+    }
+}
+
+/// One invertible delta recorded by the move journal. Each entry stores
+/// exactly what its inverse needs: removals keep the removed value (moved,
+/// not copied), insertions need only the key.
+#[derive(Debug, Clone)]
+enum JournalOp {
+    /// A node was placed; undo removes the placement and frees the slot.
+    Placed(NodeId),
+    /// A node was unplaced; undo restores the placement and re-occupies.
+    Unplaced(NodeId, Placement),
+    /// An edge was routed; undo removes the route and releases its hops.
+    Routed(EdgeId),
+    /// An edge was unrouted; undo re-commits the stored route.
+    Unrouted(EdgeId, Route),
+}
 
 /// Mutable mapping state for one II attempt.
 #[derive(Debug, Clone)]
@@ -28,23 +76,39 @@ pub struct MapState<'a> {
     pub ii: u32,
     /// Modulo occupancy (functional units and switches).
     pub state: RoutingState,
-    /// Current placements.
-    pub placements: HashMap<NodeId, Placement>,
-    /// Current routes of data-carrying edges.
-    pub routes: HashMap<EdgeId, Route>,
+    /// Current placements, indexed densely by node id.
+    pub placements: DenseMap<NodeId, Placement>,
+    /// Current routes of data-carrying edges, indexed densely by edge id.
+    pub routes: DenseMap<EdgeId, Route>,
+    /// Per-node incident-edge index, built once per DFG and shared across
+    /// clones and II attempts.
+    adj: Arc<Adjacency>,
+    /// Reusable router search state (alloc-free routing on the hot path).
+    scratch: RouterScratch,
+    /// Inverse-delta log of the open transaction (empty outside one).
+    journal: Vec<JournalOp>,
+    /// Whether a transaction is open (primitives journal their inverses).
+    in_txn: bool,
+    /// Sum of `hops.len()` over `routes` — route length in O(1).
+    total_hops: usize,
 }
 
 impl<'a> MapState<'a> {
     /// Creates an empty state for the given II.
     pub fn new(dfg: &'a Dfg, arch: &'a Architecture, ii: u32) -> Self {
-        MapState {
-            dfg,
-            arch,
-            ii,
-            state: RoutingState::new(arch, ii),
-            placements: HashMap::new(),
-            routes: HashMap::new(),
-        }
+        Self::with_adjacency(dfg, arch, ii, Arc::new(Adjacency::of(dfg)))
+    }
+
+    /// Like [`MapState::new`], but reusing a prebuilt adjacency index —
+    /// mappers build the index once per search and share it across every II
+    /// attempt of a ladder instead of re-deriving it per attempt.
+    pub fn with_adjacency(
+        dfg: &'a Dfg,
+        arch: &'a Architecture,
+        ii: u32,
+        adj: Arc<Adjacency>,
+    ) -> Self {
+        Self::from_parts(dfg, arch, ii, RoutingState::new(arch, ii), adj)
     }
 
     /// Creates an empty state whose capacity decisions are recorded into an
@@ -54,16 +118,105 @@ impl<'a> MapState<'a> {
         dfg: &'a Dfg,
         arch: &'a Architecture,
         ii: u32,
-        cert: std::sync::Arc<crate::state::CapacityCert>,
+        cert: Arc<crate::state::CapacityCert>,
     ) -> Self {
+        Self::with_cert_and_adjacency(dfg, arch, ii, cert, Arc::new(Adjacency::of(dfg)))
+    }
+
+    /// Like [`MapState::with_cert`], but reusing a prebuilt adjacency index.
+    pub fn with_cert_and_adjacency(
+        dfg: &'a Dfg,
+        arch: &'a Architecture,
+        ii: u32,
+        cert: Arc<crate::state::CapacityCert>,
+        adj: Arc<Adjacency>,
+    ) -> Self {
+        Self::from_parts(dfg, arch, ii, RoutingState::with_cert(arch, ii, cert), adj)
+    }
+
+    fn from_parts(
+        dfg: &'a Dfg,
+        arch: &'a Architecture,
+        ii: u32,
+        state: RoutingState,
+        adj: Arc<Adjacency>,
+    ) -> Self {
+        debug_assert_eq!(
+            adj.node_count(),
+            dfg.node_count(),
+            "adjacency of another DFG"
+        );
         MapState {
             dfg,
             arch,
             ii,
-            state: RoutingState::with_cert(arch, ii, cert),
-            placements: HashMap::new(),
-            routes: HashMap::new(),
+            state,
+            placements: DenseMap::for_universe(dfg.node_count()),
+            routes: DenseMap::for_universe(dfg.edge_count()),
+            adj,
+            scratch: RouterScratch::new(),
+            journal: Vec::new(),
+            in_txn: false,
+            total_hops: 0,
         }
+    }
+
+    /// The per-node incident-edge index of the DFG being mapped. Mappers
+    /// clone the `Arc` once per search and iterate `incident(node)` in their
+    /// move loops instead of scanning every edge.
+    pub fn adjacency(&self) -> &Arc<Adjacency> {
+        &self.adj
+    }
+
+    /// Opens a transaction: subsequent place/unplace/route/unroute calls
+    /// journal their inverses until [`Self::commit_txn`] or
+    /// [`Self::rollback_txn`] closes it. Transactions do not nest.
+    pub fn begin_txn(&mut self) {
+        debug_assert!(!self.in_txn, "move transactions do not nest");
+        debug_assert!(self.journal.is_empty());
+        self.in_txn = true;
+    }
+
+    /// Accepts the open transaction's mutations and drops the journal.
+    pub fn commit_txn(&mut self) {
+        debug_assert!(self.in_txn, "commit_txn without begin_txn");
+        self.journal.clear();
+        self.in_txn = false;
+    }
+
+    /// Rejects the open transaction: replays the journalled inverses in
+    /// reverse, leaving the state exactly as it was at [`Self::begin_txn`]
+    /// (placements, routes, occupancy and all maintained aggregates) in
+    /// O(deltas) — the journal replaces the historical full-state snapshot
+    /// (`let snapshot = state.clone()`) the move loops restored on reject.
+    pub fn rollback_txn(&mut self) {
+        debug_assert!(self.in_txn, "rollback_txn without begin_txn");
+        while let Some(op) = self.journal.pop() {
+            match op {
+                JournalOp::Placed(node) => {
+                    let p = self
+                        .placements
+                        .remove(&node)
+                        .expect("journaled placement exists");
+                    self.state.release(p.fu, p.cycle, node);
+                }
+                JournalOp::Unplaced(node, p) => {
+                    self.state.occupy(p.fu, p.cycle, node);
+                    self.placements.insert(node, p);
+                }
+                JournalOp::Routed(edge) => {
+                    let route = self.routes.remove(&edge).expect("journaled route exists");
+                    self.total_hops -= route.hops.len();
+                    release_route(&mut self.state, &route, self.dfg.edge(edge).src);
+                }
+                JournalOp::Unrouted(edge, route) => {
+                    commit_route(&mut self.state, &route, self.dfg.edge(edge).src);
+                    self.total_hops += route.hops.len();
+                    self.routes.insert(edge, route);
+                }
+            }
+        }
+        self.in_txn = false;
     }
 
     /// Whether `fu` can host `node` (capability plus a free modulo slot).
@@ -86,20 +239,21 @@ impl<'a> MapState<'a> {
         debug_assert!(self.can_place(node, fu, cycle));
         self.state.occupy(fu, cycle, node);
         self.placements.insert(node, Placement { fu, cycle });
+        if self.in_txn {
+            self.journal.push(JournalOp::Placed(node));
+        }
     }
 
     /// Removes `node` and un-routes every edge incident to it.
     pub fn unplace(&mut self, node: NodeId) {
         if let Some(p) = self.placements.remove(&node) {
             self.state.release(p.fu, p.cycle, node);
+            if self.in_txn {
+                self.journal.push(JournalOp::Unplaced(node, p));
+            }
         }
-        let incident: Vec<EdgeId> = self
-            .dfg
-            .edges()
-            .filter(|e| e.src == node || e.dst == node)
-            .map(|e| e.id)
-            .collect();
-        for e in incident {
+        let adj = Arc::clone(&self.adj);
+        for &e in adj.incident(node) {
             self.unroute(e);
         }
     }
@@ -107,7 +261,11 @@ impl<'a> MapState<'a> {
     /// Removes the route of `edge` from the occupancy table, if present.
     pub fn unroute(&mut self, edge: EdgeId) {
         if let Some(route) = self.routes.remove(&edge) {
+            self.total_hops -= route.hops.len();
             release_route(&mut self.state, &route, self.dfg.edge(edge).src);
+            if self.in_txn {
+                self.journal.push(JournalOp::Unrouted(edge, route));
+            }
         }
     }
 
@@ -125,8 +283,8 @@ impl<'a> MapState<'a> {
     /// Attempts to route `edge` under `policy`. Returns `true` on success.
     /// Edges that do not carry data (ordering-only) are trivially "routed".
     pub fn route_edge(&mut self, edge: EdgeId, policy: &impl CostPolicy) -> bool {
-        let e = self.dfg.edge(edge).clone();
-        if !self.dfg.edge_carries_data(&e) {
+        let e = self.dfg.edge(edge);
+        if !self.dfg.edge_carries_data(e) {
             return true;
         }
         if self.routes.contains_key(&edge) {
@@ -136,7 +294,7 @@ impl<'a> MapState<'a> {
         else {
             return false;
         };
-        let Some((_, arrival)) = self.arrival_cycle(&e) else {
+        let Some((_, arrival)) = self.arrival_cycle(e) else {
             return false;
         };
         let request = RouteRequest {
@@ -146,10 +304,14 @@ impl<'a> MapState<'a> {
             arrival_cycle: arrival,
             value: e.src,
         };
-        match find_route(self.arch, &self.state, &request, policy) {
+        match find_route_in(&mut self.scratch, self.arch, &self.state, &request, policy) {
             Some((route, _)) => {
                 commit_route(&mut self.state, &route, e.src);
+                self.total_hops += route.hops.len();
                 self.routes.insert(edge, route);
+                if self.in_txn {
+                    self.journal.push(JournalOp::Routed(edge));
+                }
                 true
             }
             None => false,
@@ -159,10 +321,9 @@ impl<'a> MapState<'a> {
     /// Routes every currently unrouted data-carrying edge whose endpoints are
     /// placed; returns the number of edges that remain unrouted.
     pub fn route_all(&mut self, policy: &impl CostPolicy) -> usize {
-        let edges: Vec<EdgeId> = self.dfg.edges().map(|e| e.id).collect();
         let mut failures = 0;
-        for e in edges {
-            if !self.route_edge(e, policy) {
+        for e in 0..self.dfg.edge_count() as u32 {
+            if !self.route_edge(EdgeId(e), policy) {
                 failures += 1;
             }
         }
@@ -170,11 +331,10 @@ impl<'a> MapState<'a> {
     }
 
     /// Number of data-carrying edges that currently have no route.
+    /// Maintained via the adjacency index's data-edge count; O(1).
     pub fn unrouted_edges(&self) -> usize {
-        self.dfg
-            .edges()
-            .filter(|e| self.dfg.edge_carries_data(e) && !self.routes.contains_key(&e.id))
-            .count()
+        debug_assert!(self.routes.len() <= self.adj.data_carrying_edges());
+        self.adj.data_carrying_edges() - self.routes.len()
     }
 
     /// Whether timing constraints hold for every edge whose endpoints are
@@ -188,12 +348,12 @@ impl<'a> MapState<'a> {
     }
 
     /// Scalar quality: lower is better. Unrouted edges dominate, then total
-    /// hop count, then congestion pressure.
+    /// hop count, then congestion pressure. All three terms are maintained
+    /// incrementally, so this is O(1).
     pub fn cost(&self) -> f64 {
         let unrouted = self.unrouted_edges() as f64;
-        let hops: usize = self.routes.values().map(|r| r.hops.len()).sum();
         let congestion = f64::from(self.state.total_overuse());
-        unrouted * UNROUTED_PENALTY + hops as f64 + congestion * 10.0
+        unrouted * UNROUTED_PENALTY + self.total_hops as f64 + congestion * 10.0
     }
 
     /// Whether the state is a complete, legal mapping.
@@ -207,8 +367,10 @@ impl<'a> MapState<'a> {
     /// Earliest schedule cycle of `node` respecting its placed same-iteration
     /// predecessors (0 if none are placed).
     pub fn earliest_cycle(&self, node: NodeId) -> u32 {
-        self.dfg
-            .in_edges(node)
+        self.adj
+            .ins(node)
+            .iter()
+            .map(|&e| self.dfg.edge(e))
             .filter(|e| !e.kind.is_recurrence())
             .filter_map(|e| self.placements.get(&e.src).map(|p| p.cycle + 1))
             .max()
@@ -221,10 +383,11 @@ impl<'a> MapState<'a> {
         let needs_memory = self.dfg.node(node).op.is_memory();
         let mut fus = self.arch.units_supporting(needs_memory);
         let neighbour_positions: Vec<ResourceId> = self
-            .dfg
-            .predecessors(node)
-            .into_iter()
-            .chain(self.dfg.successors(node))
+            .adj
+            .ins(node)
+            .iter()
+            .map(|&e| self.dfg.edge(e).src)
+            .chain(self.adj.outs(node).iter().map(|&e| self.dfg.edge(e).dst))
             .filter_map(|n| self.placements.get(&n).map(|p| p.fu))
             .collect();
         fus.sort_by_key(|&fu| {
@@ -244,8 +407,8 @@ impl<'a> MapState<'a> {
             arch_name: self.arch.name().to_string(),
             mapper_name: mapper_name.to_string(),
             ii: self.ii,
-            placements: self.placements,
-            routes: self.routes,
+            placements: self.placements.into_entries().collect(),
+            routes: self.routes.into_entries().collect(),
         }
     }
 }
@@ -275,6 +438,7 @@ pub fn place_node_best_effort(
 ) -> bool {
     let base = state.earliest_cycle(node);
     let candidates = state.candidate_fus(node);
+    let adj = Arc::clone(state.adjacency());
     for offset in 0..(state.ii * 2) {
         let cycle = base + offset;
         for &fu in &candidates {
@@ -283,15 +447,12 @@ pub fn place_node_best_effort(
             }
             state.place(node, fu, cycle);
             // Route the incoming data edges from already-placed producers.
-            let incoming: Vec<EdgeId> = state
-                .dfg
-                .in_edges(node)
-                .filter(|e| state.placements.contains_key(&e.src))
-                .map(|e| e.id)
-                .collect();
             let mut ok = true;
-            for e in &incoming {
-                if !state.route_edge(*e, policy) {
+            for &e in adj.ins(node) {
+                if !state.placements.contains_key(&state.dfg.edge(e).src) {
+                    continue;
+                }
+                if !state.route_edge(e, policy) {
                     ok = false;
                     break;
                 }
@@ -393,5 +554,66 @@ mod tests {
         let mapping = state.into_mapping("greedy");
         assert!(mapping.validate(&dfg, &arch).is_ok());
         assert_eq!(mapping.ii, 2);
+    }
+
+    #[test]
+    fn cost_aggregates_match_recomputation() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mut state = MapState::new(&dfg, &arch, 2);
+        assert!(greedy_place(&mut state, &HardCapacityCost));
+        // Recompute the cost terms the slow way and compare with the
+        // incrementally maintained aggregates.
+        let unrouted_slow = dfg
+            .edges()
+            .filter(|e| dfg.edge_carries_data(e) && !state.routes.contains_key(&e.id))
+            .count();
+        let hops_slow: usize = state.routes.values().map(|r| r.hops.len()).sum();
+        assert_eq!(state.unrouted_edges(), unrouted_slow);
+        assert_eq!(
+            state.cost(),
+            unrouted_slow as f64 * UNROUTED_PENALTY
+                + hops_slow as f64
+                + f64::from(state.state.total_overuse()) * 10.0
+        );
+    }
+
+    #[test]
+    fn rollback_restores_the_pre_move_state() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mut state = MapState::new(&dfg, &arch, 2);
+        assert!(greedy_place(&mut state, &HardCapacityCost));
+        let placements_before = state.placements.clone();
+        let routes_before = state.routes.clone();
+        let occupancy_before = state.state.clone();
+        let cost_before = state.cost();
+
+        let node = dfg.node_ids().nth(2).unwrap();
+        state.begin_txn();
+        state.unplace(node);
+        assert_ne!(state.placements.len(), placements_before.len());
+        state.rollback_txn();
+
+        assert_eq!(state.placements, placements_before);
+        assert_eq!(state.routes, routes_before);
+        assert_eq!(state.state, occupancy_before);
+        assert_eq!(state.cost(), cost_before);
+        assert!(state.is_complete());
+    }
+
+    #[test]
+    fn commit_keeps_the_mutations() {
+        let dfg = small_dfg();
+        let arch = spatio_temporal::build(4, 4);
+        let mut state = MapState::new(&dfg, &arch, 2);
+        assert!(greedy_place(&mut state, &HardCapacityCost));
+        let node = dfg.node_ids().nth(2).unwrap();
+        state.begin_txn();
+        state.unplace(node);
+        let len_mid = state.placements.len();
+        state.commit_txn();
+        assert_eq!(state.placements.len(), len_mid);
+        assert!(!state.placements.contains_key(&node));
     }
 }

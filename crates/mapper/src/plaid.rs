@@ -17,12 +17,13 @@ use plaid_arch::{ArchClass, Architecture, Cluster, HardwiredPattern};
 use plaid_dfg::{Dfg, EdgeId, NodeId};
 use plaid_motif::{
     identify_motifs, schedule_templates, HierarchicalDfg, IdentifyOptions, Motif, MotifKind,
+    MotifSchedule,
 };
 
 use crate::error::MapError;
 use crate::mapping::Mapping;
 use crate::mii::mii;
-use crate::placement::{place_node_best_effort, MapState};
+use crate::placement::{place_node_best_effort, LadderShared, MapState};
 use crate::route::HardCapacityCost;
 use std::sync::Arc;
 
@@ -31,7 +32,6 @@ use crate::seed::{
     options_fingerprint, plan_ladder, LadderPlan, MapSeed, PlacementSeed, SeedContext, SeedOutcome,
     SeededMapping,
 };
-use crate::state::CapacityCert;
 use crate::Mapper;
 
 /// Options of the Plaid mapper.
@@ -76,13 +76,9 @@ impl PlaidMapper {
         state: &mut MapState<'_>,
         motif: &Motif,
         cluster: &Cluster,
-        template_index: usize,
+        template: &MotifSchedule,
         start: u32,
     ) -> bool {
-        let templates = schedule_templates(motif.kind);
-        let Some(template) = templates.get(template_index) else {
-            return false;
-        };
         // Hardwired PCUs only execute their own motif kind.
         if let Some(pattern) = cluster.hardwired {
             if !kind_matches(pattern, motif.kind) {
@@ -111,17 +107,24 @@ impl PlaidMapper {
             state.place(node, fu, start + slot.cycle);
             placed.push(node);
         }
-        let incident: Vec<EdgeId> = state
-            .dfg
-            .edges()
-            .filter(|e| {
-                (placed.contains(&e.src) || placed.contains(&e.dst))
-                    && state.placements.contains_key(&e.src)
-                    && state.placements.contains_key(&e.dst)
-            })
-            .map(|e| e.id)
+        // Incident edges of the just-placed nodes whose endpoints are both
+        // placed, in ascending edge-id order (sort + dedup reproduces the
+        // order a full edge scan would yield; edges internal to the motif
+        // are seen from both endpoints and must route once).
+        let adj = Arc::clone(state.adjacency());
+        let mut incident: Vec<EdgeId> = placed
+            .iter()
+            .flat_map(|&n| adj.incident(n).iter().copied())
             .collect();
+        incident.sort_unstable();
+        incident.dedup();
         for e in incident {
+            let edge = state.dfg.edge(e);
+            if !state.placements.contains_key(&edge.src)
+                || !state.placements.contains_key(&edge.dst)
+            {
+                continue;
+            }
             if !state.route_edge(e, &HardCapacityCost) {
                 for &n in &placed {
                     state.unplace(n);
@@ -134,11 +137,7 @@ impl PlaidMapper {
 
     /// Earliest start cycle for a motif under a specific template, respecting
     /// the already-placed external producers of its nodes.
-    fn motif_earliest(state: &MapState<'_>, motif: &Motif, template_index: usize) -> u32 {
-        let templates = schedule_templates(motif.kind);
-        let Some(template) = templates.get(template_index) else {
-            return 0;
-        };
+    fn motif_earliest(state: &MapState<'_>, motif: &Motif, template: &MotifSchedule) -> u32 {
         let mut earliest = 0u32;
         for slot in &template.slots {
             let node = motif.nodes[slot.node];
@@ -156,10 +155,14 @@ impl PlaidMapper {
         rng: &mut SmallRng,
         randomize: bool,
     ) -> bool {
-        let mut clusters: Vec<Cluster> = state.arch.clusters().to_vec();
+        let clusters = state.arch.clusters();
         // "Map the motif to a PE with the least routing resource [usage]":
-        // prefer hardwired clusters matching the kind, then least-loaded ones.
-        clusters.sort_by_key(|c| {
+        // prefer hardwired clusters matching the kind, then least-loaded
+        // ones. Sorting indices (tile ids make the key unique) avoids deep-
+        // cloning every `Cluster` per placement attempt.
+        let mut order: Vec<usize> = (0..clusters.len()).collect();
+        order.sort_by_key(|&i| {
+            let c = &clusters[i];
             let load: u32 = c
                 .alus
                 .iter()
@@ -175,16 +178,19 @@ impl PlaidMapper {
             };
             (hardwired_bonus, load, c.tile as u32)
         });
-        if randomize && clusters.len() > 1 {
-            let pick = rng.gen_range(0..clusters.len());
-            clusters.swap(0, pick);
+        if randomize && order.len() > 1 {
+            let pick = rng.gen_range(0..order.len());
+            order.swap(0, pick);
         }
-        let template_count = schedule_templates(motif.kind).len();
-        for cluster in &clusters {
-            for template_index in 0..template_count {
-                let base = Self::motif_earliest(state, motif, template_index);
+        // Templates are immutable per motif kind; materialise them once per
+        // placement instead of once per (cluster, template, offset) probe.
+        let templates = schedule_templates(motif.kind);
+        for &ci in &order {
+            let cluster = &clusters[ci];
+            for template in &templates {
+                let base = Self::motif_earliest(state, motif, template);
                 for offset in 0..state.ii {
-                    if Self::try_place_motif(state, motif, cluster, template_index, base + offset) {
+                    if Self::try_place_motif(state, motif, cluster, template, base + offset) {
                         return true;
                     }
                 }
@@ -200,10 +206,16 @@ impl PlaidMapper {
         hdfg: &HierarchicalDfg,
         ii: u32,
         rng: &mut SmallRng,
-        cert: &Arc<CapacityCert>,
+        shared: &LadderShared,
     ) -> Option<MapState<'a>> {
         let policy = HardCapacityCost;
-        let mut state = MapState::with_cert(dfg, arch, ii, Arc::clone(cert));
+        let mut state = MapState::with_cert_and_adjacency(
+            dfg,
+            arch,
+            ii,
+            Arc::clone(&shared.cert),
+            Arc::clone(&shared.adj),
+        );
 
         // Line 1: sort motifs by data dependency (ASAP level of their nodes).
         let levels = dfg.asap_levels().ok()?;
@@ -270,7 +282,6 @@ impl PlaidMapper {
             if state.is_complete() {
                 return Some(state);
             }
-            let snapshot = state.clone();
             // Pick a random motif or standalone node to rip up.
             let unit_count = hdfg.unit_count().max(1);
             let pick = rng.gen_range(0..unit_count);
@@ -286,6 +297,9 @@ impl PlaidMapper {
             if ripped_nodes.is_empty() {
                 continue;
             }
+            // Journalled repair attempt: a failed or rejected re-placement
+            // rolls back in O(deltas) instead of restoring a snapshot.
+            state.begin_txn();
             for &n in &ripped_nodes {
                 state.unplace(n);
             }
@@ -298,7 +312,7 @@ impl PlaidMapper {
                     .all(|&n| place_node_best_effort(&mut state, n, &policy))
             };
             if !ok {
-                state = snapshot;
+                state.rollback_txn();
                 continue;
             }
             // Re-route everything that is still missing.
@@ -307,8 +321,9 @@ impl PlaidMapper {
             let accept = new_cost <= best_cost || rng.gen::<f64>() < 0.05;
             if accept {
                 best_cost = new_cost;
+                state.commit_txn();
             } else {
-                state = snapshot;
+                state.rollback_txn();
             }
         }
         if state.is_complete() {
@@ -394,13 +409,13 @@ impl PlaidMapper {
         // One capacity certificate accumulates across the whole ladder so
         // the captured seed can prove its result transfers to
         // differently-provisioned networks.
-        let cert = Arc::new(CapacityCert::new(arch.resources().len()));
+        let shared = LadderShared::of(dfg, arch);
         for ii in start..=max_ii {
             // Per-II RNG: each attempt is a pure function of
             // (dfg, fabric, ii), which is what makes ladder prefixes
             // transferable across configuration depths.
             let mut rng = attempt_rng(self.options.seed, ii);
-            if let Some(state) = self.attempt_ii(dfg, arch, &hdfg, ii, &mut rng, &cert) {
+            if let Some(state) = self.attempt_ii(dfg, arch, &hdfg, ii, &mut rng, &shared) {
                 let mapping = state.into_mapping(self.name());
                 mapping.validate(dfg, arch)?;
                 let (outcome, run_cert) = if floored {
@@ -408,7 +423,7 @@ impl PlaidMapper {
                     // not cover the skipped (proved-infeasible) prefix.
                     (SeedOutcome::Floored, None)
                 } else {
-                    (SeedOutcome::Scratch, Some(&*cert))
+                    (SeedOutcome::Scratch, Some(&*shared.cert))
                 };
                 return Ok(SeededMapping {
                     seed: PlacementSeed::capture_with_cert(

@@ -6,6 +6,13 @@
 //! `t_dst − t_src` cycles: a value arriving an II too late would belong to the
 //! wrong iteration. Waiting is expressed physically, by looping on a
 //! register/hold resource (the self-links the architectures provide).
+//!
+//! The search itself is allocation-free on the hot path: a reusable
+//! [`RouterScratch`] owns the distance/parent tables (epoch-stamped, so
+//! clearing between searches is a counter bump, not a memset) and the
+//! priority queue. [`find_route`] remains as a convenience that allocates a
+//! fresh scratch per call; the mappers route thousands of edges per second
+//! through [`find_route_in`] with the scratch owned by their `MapState`.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -36,7 +43,9 @@ pub struct RouteRequest {
 /// Per-hop cost policy.
 pub trait CostPolicy {
     /// Cost of occupying `(resource, slot)` with `value`, or `None` if the
-    /// resource may not be used (hard capacity).
+    /// resource may not be used (hard capacity). Finite costs only: the
+    /// router rejects non-finite hop costs at insertion (a NaN would corrupt
+    /// the priority-queue ordering).
     fn hop_cost(
         &self,
         state: &RoutingState,
@@ -60,10 +69,11 @@ impl CostPolicy for HardCapacityCost {
         slot: u32,
         value: NodeId,
     ) -> Option<f64> {
-        if !state.fits(resource, slot, value) {
+        let (fits, usage) = state.admission(resource, slot, value);
+        if !fits {
             return None;
         }
-        Some(1.0 + 0.2 * f64::from(state.usage(resource, slot)))
+        Some(1.0 + 0.2 * f64::from(usage))
     }
 }
 
@@ -87,8 +97,17 @@ impl NegotiatedCost {
     }
 
     /// Increases the history cost of every currently overused resource.
+    ///
+    /// Resources with no overuse anywhere in the II are skipped via the
+    /// incrementally maintained [`RoutingState::resource_overuse`] counter,
+    /// so a negotiation round costs O(overused slots), not
+    /// O(resources × II) — only the congested fraction of the fabric is
+    /// scanned slot-by-slot.
     pub fn accumulate_history(&mut self, state: &RoutingState, arch: &Architecture) {
         for r in arch.resources() {
+            if state.resource_overuse(r.id) == 0 {
+                continue;
+            }
             for slot in 0..state.ii() {
                 if state.overuse(r.id, slot) > 0 {
                     self.history[r.id.0 as usize] += 1.0;
@@ -106,9 +125,9 @@ impl CostPolicy for NegotiatedCost {
         slot: u32,
         value: NodeId,
     ) -> Option<f64> {
-        let usage = state.usage(resource, slot);
+        let (fits, usage) = state.admission(resource, slot, value);
         let capacity = state.capacity(resource);
-        let present = if state.fits(resource, slot, value) {
+        let present = if fits {
             f64::from(usage) * 0.2
         } else {
             self.present_factor * f64::from(usage + 1 - capacity)
@@ -117,7 +136,7 @@ impl CostPolicy for NegotiatedCost {
     }
 }
 
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct QueueEntry {
     cost: f64,
     resource: u32,
@@ -128,11 +147,12 @@ impl Eq for QueueEntry {}
 
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on cost.
+        // Min-heap on cost. Entries are guaranteed finite at insertion
+        // (`finite_or_reject` below), so `total_cmp` agrees with the IEEE
+        // partial order here while staying total for safety.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.cost)
             .then_with(|| other.resource.cmp(&self.resource))
             .then_with(|| other.elapsed.cmp(&self.elapsed))
     }
@@ -144,13 +164,237 @@ impl PartialOrd for QueueEntry {
     }
 }
 
+/// Rejects non-finite hop costs before they can enter the priority queue: a
+/// NaN compares `Equal` to everything under a naive partial comparison and
+/// silently corrupts heap order. Debug builds treat this as a policy bug.
+#[inline]
+fn finite_or_reject(cost: f64) -> Option<f64> {
+    debug_assert!(
+        cost.is_finite(),
+        "cost policy produced a non-finite hop cost ({cost}); \
+         hop costs must be finite"
+    );
+    cost.is_finite().then_some(cost)
+}
+
+/// Sentinel for "no parent" in the dense predecessor table (no resource has
+/// id `u32::MAX`).
+const NO_PARENT: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// Reusable search state of [`find_route_in`]: dense per-`(resource,
+/// elapsed)` best-cost and parent tables, the priority queue, and the
+/// exact-time reachability cache used to prune dead search cells.
+///
+/// Tables are epoch-stamped: a cell is live only when its stamp matches the
+/// current epoch, so starting a new search is one counter increment and the
+/// tables are never re-initialised (they only grow, to the largest
+/// `resources × (budget + 1)` seen). One scratch serves any number of
+/// sequential searches over any architectures.
+#[derive(Debug, Clone, Default)]
+pub struct RouterScratch {
+    core: SearchCore,
+    reach: ReachCache,
+}
+
+impl RouterScratch {
+    /// Creates an empty scratch; tables grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The Dijkstra working set (separate from the reachability cache so both
+/// can be borrowed independently during a search).
+#[derive(Debug, Clone, Default)]
+struct SearchCore {
+    epoch: u32,
+    stamp: Vec<u32>,
+    best: Vec<f64>,
+    parent: Vec<(u32, u32)>,
+    heap: BinaryHeap<QueueEntry>,
+}
+
+impl SearchCore {
+    /// Starts a new search over `cells` table entries.
+    fn begin(&mut self, cells: usize) {
+        if self.stamp.len() < cells {
+            self.stamp.resize(cells, 0);
+            self.best.resize(cells, f64::INFINITY);
+            self.parent.resize(cells, NO_PARENT);
+        }
+        self.heap.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale stamps could collide with the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Best cost recorded for `idx` in the current search.
+    #[inline]
+    fn best(&self, idx: usize) -> f64 {
+        if self.stamp[idx] == self.epoch {
+            self.best[idx]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize, cost: f64, parent: (u32, u32)) {
+        self.stamp[idx] = self.epoch;
+        self.best[idx] = cost;
+        self.parent[idx] = parent;
+    }
+
+    #[inline]
+    fn parent(&self, idx: usize) -> (u32, u32) {
+        debug_assert_eq!(self.stamp[idx], self.epoch);
+        self.parent[idx]
+    }
+}
+
+/// Exact-time reachability of one destination FU: `alive(r, t)` answers
+/// "does a switch-only path of *exactly* `t` cycles exist from switch `r`
+/// into the destination?". A Dijkstra cell `(r, elapsed)` with
+/// `!alive(r, budget - elapsed)` can never complete a route — and every
+/// cell it expands into is equally dead — so the search skips it without
+/// probing occupancy. Pruning dead cells is exactly behaviour-preserving:
+/// they never trigger the finish check, and their expansions only ever
+/// update other dead cells, so the live computation (pop order, costs,
+/// tie-breaks, the returned route) is untouched.
+///
+/// The table depends only on `(architecture, destination, budget)` — not on
+/// occupancy — so it is computed once and reused across every search a
+/// mapping attempt issues for that destination.
+#[derive(Debug, Clone, Default)]
+struct ReachTable {
+    width: usize,
+    live: Vec<bool>,
+}
+
+impl ReachTable {
+    #[inline]
+    fn alive(&self, resource: u32, t: u32) -> bool {
+        self.live[resource as usize * self.width + t as usize]
+    }
+
+    fn build(arch: &Architecture, dst: ResourceId, width: usize) -> Self {
+        let n = arch.resources().len();
+        let mut live = vec![false; n * width];
+        for t in 0..width as u32 {
+            // Layers with latency > 0 read earlier (already final) layers;
+            // zero-latency switch-to-switch links propagate within a layer,
+            // so iterate the layer to a fixpoint (one extra pass on the
+            // modelled fabrics).
+            loop {
+                let mut changed = false;
+                for r in 0..n as u32 {
+                    let idx = r as usize * width + t as usize;
+                    if live[idx] || arch.resource(ResourceId(r)).kind.is_func_unit() {
+                        continue;
+                    }
+                    let reaches = arch.out_links(ResourceId(r)).any(|link| {
+                        if link.latency > t {
+                            return false;
+                        }
+                        if link.to == dst {
+                            if link.latency == t {
+                                return true;
+                            }
+                            // Arriving early at the destination FU is not a
+                            // finish, and FUs are not vias.
+                            return false;
+                        }
+                        !arch.resource(link.to).kind.is_func_unit()
+                            && live[link.to.0 as usize * width + (t - link.latency) as usize]
+                    });
+                    if reaches {
+                        live[idx] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        ReachTable { width, live }
+    }
+}
+
+/// Per-destination [`ReachTable`]s, keyed by destination resource id and
+/// invalidated whenever the architecture changes.
+///
+/// Invalidation keys on [`Architecture::instance_id`], which is
+/// process-unique and never reused, so a scratch reused across many
+/// fabrics — even ones dropped and reallocated at the same address — can
+/// never serve a stale table; structurally identical clones share an id
+/// and therefore share tables, which is sound by construction.
+#[derive(Debug, Clone, Default)]
+struct ReachCache {
+    /// `Architecture::instance_id` the tables were built for (0 = none yet).
+    arch_instance: u64,
+    tables: Vec<Option<ReachTable>>,
+}
+
+impl ReachCache {
+    fn table(&mut self, arch: &Architecture, dst: ResourceId, budget: u32) -> &ReachTable {
+        if self.arch_instance != arch.instance_id() {
+            self.arch_instance = arch.instance_id();
+            self.tables.clear();
+            self.tables.resize(arch.resources().len(), None);
+        }
+        let slot = &mut self.tables[dst.0 as usize];
+        let width = (budget + 1) as usize;
+        let rebuild = match slot {
+            Some(t) => t.width < width,
+            None => true,
+        };
+        if rebuild {
+            // Grow geometrically so a rising budget ladder rebuilds O(log)
+            // times instead of once per budget.
+            let grown = match slot {
+                Some(t) => width.max(t.width * 2),
+                None => width,
+            };
+            *slot = Some(ReachTable::build(arch, dst, grown));
+        }
+        slot.as_ref().expect("table just ensured")
+    }
+}
+
 /// Finds the cheapest route satisfying `request`, or `None` if no route exists
 /// under the given cost policy.
 ///
+/// Convenience wrapper over [`find_route_in`] that allocates a fresh
+/// [`RouterScratch`] per call; hot paths should own a scratch and reuse it.
+pub fn find_route(
+    arch: &Architecture,
+    state: &RoutingState,
+    request: &RouteRequest,
+    policy: &impl CostPolicy,
+) -> Option<(Route, f64)> {
+    let mut scratch = RouterScratch::new();
+    find_route_in(&mut scratch, arch, state, request, policy)
+}
+
+/// Finds the cheapest route satisfying `request` using a caller-owned
+/// [`RouterScratch`], or `None` if no route exists under the given cost
+/// policy.
+///
 /// The returned route contains only intermediate switch hops; both functional
 /// units are excluded. The route's cost (sum of hop costs) is returned
-/// alongside it.
-pub fn find_route(
+/// alongside it. Apart from the returned `Route`'s hop vector, the search
+/// performs no heap allocation once the scratch has warmed up.
+///
+/// A scratch caches per-destination reachability tables for the
+/// architecture it last saw, keyed by [`Architecture::instance_id`]:
+/// passing a different (or rebuilt) architecture safely resets the cache,
+/// while structurally identical clones reuse it.
+pub fn find_route_in(
+    scratch: &mut RouterScratch,
     arch: &Architecture,
     state: &RoutingState,
     request: &RouteRequest,
@@ -163,9 +407,12 @@ pub fn find_route(
     let n = arch.resources().len();
     let width = (budget + 1) as usize;
     let index = |r: u32, e: u32| r as usize * width + e as usize;
-    let mut best = vec![f64::INFINITY; n * width];
-    let mut parent: Vec<Option<(u32, u32)>> = vec![None; n * width];
-    let mut heap = BinaryHeap::new();
+    let RouterScratch { core, reach } = scratch;
+    // Cells from which the destination is unreachable in exactly the
+    // remaining cycles are dead: skip them before probing occupancy. See
+    // [`ReachTable`] for why this cannot change the returned route.
+    let reach = reach.table(arch, request.dst_fu, budget);
+    core.begin(n * width);
 
     // Seed: leave the source FU along each outgoing link.
     for link in arch.out_links(request.src_fu) {
@@ -175,18 +422,20 @@ pub fn find_route(
             continue;
         }
         let elapsed = link.latency;
-        if elapsed > budget {
+        if elapsed > budget || !reach.alive(link.to.0, budget - elapsed) {
             continue;
         }
         let slot = state.slot(request.src_cycle + elapsed);
-        let Some(cost) = policy.hop_cost(state, link.to, slot, request.value) else {
+        let Some(cost) = policy
+            .hop_cost(state, link.to, slot, request.value)
+            .and_then(finite_or_reject)
+        else {
             continue;
         };
         let idx = index(link.to.0, elapsed);
-        if cost < best[idx] {
-            best[idx] = cost;
-            parent[idx] = None;
-            heap.push(QueueEntry {
+        if cost < core.best(idx) {
+            core.set(idx, cost, NO_PARENT);
+            core.heap.push(QueueEntry {
                 cost,
                 resource: link.to.0,
                 elapsed,
@@ -194,9 +443,9 @@ pub fn find_route(
         }
     }
 
-    while let Some(entry) = heap.pop() {
+    while let Some(entry) = core.heap.pop() {
         let idx = index(entry.resource, entry.elapsed);
-        if entry.cost > best[idx] {
+        if entry.cost > core.best(idx) {
             continue;
         }
         let here = ResourceId(entry.resource);
@@ -206,13 +455,14 @@ pub fn find_route(
             if entry.elapsed + link.latency == budget {
                 // Reconstruct the hop chain.
                 let mut hops = Vec::new();
-                let mut cursor = Some((entry.resource, entry.elapsed));
-                while let Some((r, e)) = cursor {
+                let mut cursor = (entry.resource, entry.elapsed);
+                while cursor != NO_PARENT {
+                    let (r, e) = cursor;
                     hops.push(RouteHop {
                         resource: ResourceId(r),
                         cycle: request.src_cycle + e,
                     });
-                    cursor = parent[index(r, e)];
+                    cursor = core.parent(index(r, e));
                 }
                 hops.reverse();
                 return Some((Route { hops }, entry.cost));
@@ -224,11 +474,14 @@ pub fn find_route(
                 continue;
             }
             let elapsed = entry.elapsed + link.latency;
-            if elapsed > budget {
+            if elapsed > budget || !reach.alive(link.to.0, budget - elapsed) {
                 continue;
             }
             let slot = state.slot(request.src_cycle + elapsed);
-            let Some(hop_cost) = policy.hop_cost(state, link.to, slot, request.value) else {
+            let Some(hop_cost) = policy
+                .hop_cost(state, link.to, slot, request.value)
+                .and_then(finite_or_reject)
+            else {
                 continue;
             };
             // Zero-latency self-loops cannot exist (links are deduplicated and
@@ -236,10 +489,9 @@ pub fn find_route(
             // re-visiting the same (resource, elapsed) at higher cost.
             let cost = entry.cost + hop_cost;
             let nidx = index(link.to.0, elapsed);
-            if cost < best[nidx] {
-                best[nidx] = cost;
-                parent[nidx] = Some((entry.resource, entry.elapsed));
-                heap.push(QueueEntry {
+            if cost < core.best(nidx) {
+                core.set(nidx, cost, (entry.resource, entry.elapsed));
+                core.heap.push(QueueEntry {
                     cost,
                     resource: link.to.0,
                     elapsed,
@@ -432,5 +684,96 @@ mod tests {
         assert!(state.occupied_slots() > 0);
         release_route(&mut state, &route, NodeId(7));
         assert_eq!(state.occupied_slots(), 0);
+    }
+
+    #[test]
+    fn reused_scratch_reproduces_fresh_scratch_routes() {
+        // The same scratch must give bit-identical answers across many
+        // searches of different budgets, architectures and congestion
+        // levels — the epoch stamps must fully isolate searches.
+        let archs = [spatio_temporal::build(2, 2), plaid::build(2, 2)];
+        let mut scratch = RouterScratch::new();
+        for arch in &archs {
+            let mut state = RoutingState::new(arch, 4);
+            let fus: Vec<ResourceId> = arch.functional_units().map(|r| r.id).collect();
+            for (i, &src) in fus.iter().enumerate() {
+                let dst = fus[(i * 7 + 3) % fus.len()];
+                for budget in 1..5u32 {
+                    let request = RouteRequest {
+                        src_fu: src,
+                        src_cycle: i as u32,
+                        dst_fu: dst,
+                        arrival_cycle: i as u32 + budget,
+                        value: NodeId(i as u32),
+                    };
+                    let fresh = find_route(arch, &state, &request, &HardCapacityCost);
+                    let reused =
+                        find_route_in(&mut scratch, arch, &state, &request, &HardCapacityCost);
+                    assert_eq!(fresh, reused, "scratch reuse changed a route");
+                    if let Some((route, _)) = fresh {
+                        // Mutate congestion so later searches see fresh state.
+                        commit_route(&mut state, &route, NodeId(i as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_hop_costs_are_rejected_not_propagated() {
+        /// A policy that reports NaN for every switch in slot 0 and a valid
+        /// cost elsewhere: routes through slot 0 must be avoided entirely
+        /// rather than corrupting the heap order.
+        struct NanInSlotZero;
+        impl CostPolicy for NanInSlotZero {
+            fn hop_cost(
+                &self,
+                _state: &RoutingState,
+                _resource: ResourceId,
+                slot: u32,
+                _value: NodeId,
+            ) -> Option<f64> {
+                Some(if slot == 0 { f64::NAN } else { 1.0 })
+            }
+        }
+        let arch = spatio_temporal::build(2, 2);
+        let state = RoutingState::new(&arch, 4);
+        let fu0 = arch.clusters()[0].alus[0];
+        let fu1 = arch.clusters()[1].alus[0];
+        // Budget 1 with src_cycle 3: the single hop lands on slot 0
+        // (cycle 4 mod 4) and must be rejected -> no route.
+        let request = RouteRequest {
+            src_fu: fu0,
+            src_cycle: 3,
+            dst_fu: fu1,
+            arrival_cycle: 4,
+            value: NodeId(0),
+        };
+        let result = std::panic::catch_unwind(|| {
+            let mut scratch = RouterScratch::new();
+            find_route_in(&mut scratch, &arch, &state, &request, &NanInSlotZero)
+        });
+        if cfg!(debug_assertions) {
+            assert!(result.is_err(), "debug builds flag NaN as a policy bug");
+        } else {
+            assert_eq!(result.unwrap(), None, "NaN hops are filtered");
+        }
+        // A budget that can avoid slot 0 still routes.
+        let request = RouteRequest {
+            src_fu: fu0,
+            src_cycle: 0,
+            dst_fu: fu1,
+            arrival_cycle: 2,
+            value: NodeId(0),
+        };
+        let routed = std::panic::catch_unwind(|| {
+            let mut scratch = RouterScratch::new();
+            find_route_in(&mut scratch, &arch, &state, &request, &NanInSlotZero)
+        });
+        if let Ok(routed) = routed {
+            // Release builds filter silently and still find the clean path.
+            let (route, _) = routed.expect("clean-slot route exists");
+            assert!(route.hops.iter().all(|h| h.cycle % 4 != 0));
+        }
     }
 }

@@ -11,12 +11,12 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use plaid_arch::Architecture;
-use plaid_dfg::{Dfg, EdgeId, NodeId};
+use plaid_dfg::{Dfg, NodeId};
 
 use crate::error::MapError;
 use crate::mapping::Mapping;
 use crate::mii::mii;
-use crate::placement::{greedy_place, place_node_best_effort, MapState};
+use crate::placement::{greedy_place, place_node_best_effort, LadderShared, MapState};
 use crate::route::HardCapacityCost;
 use std::sync::Arc;
 
@@ -24,7 +24,6 @@ use crate::seed::{
     apply_seed_placement, options_fingerprint, plan_ladder, LadderPlan, MapSeed, PlacementSeed,
     SeedContext, SeedOutcome, SeededMapping,
 };
-use crate::state::CapacityCert;
 use crate::Mapper;
 
 /// Annealing move candidates considered per move. Kept small so a move stays
@@ -101,10 +100,16 @@ impl SaMapper {
         ii: u32,
         rng: &mut SmallRng,
         warm: Option<&PlacementSeed>,
-        cert: &Arc<CapacityCert>,
+        shared: &LadderShared,
     ) -> Option<MapState<'a>> {
         let policy = HardCapacityCost;
-        let mut state = MapState::with_cert(dfg, arch, ii, Arc::clone(cert));
+        let mut state = MapState::with_cert_and_adjacency(
+            dfg,
+            arch,
+            ii,
+            Arc::clone(&shared.cert),
+            Arc::clone(&shared.adj),
+        );
         let seeded_start = match warm {
             Some(seed) => {
                 apply_seed_placement(&mut state, seed);
@@ -153,17 +158,20 @@ impl SaMapper {
         let mut temperature = self.options.initial_temperature;
         let mut best_cost = state.cost();
         let nodes: Vec<NodeId> = dfg.node_ids().collect();
+        let adj = Arc::clone(state.adjacency());
         for _ in 0..self.options.moves_per_ii {
             if state.is_complete() {
                 return Some(state);
             }
             let node = nodes[rng.gen_range(0..nodes.len())];
-            let snapshot = state.clone();
-            // Rip up and re-place the node somewhere else.
+            // Rip up and re-place the node somewhere else, journalling the
+            // deltas: a rejected move rolls back in O(move), where the
+            // historical kernel restored a full-state snapshot.
+            state.begin_txn();
             state.unplace(node);
             let candidates = state.candidate_fus(node);
             if candidates.is_empty() {
-                state = snapshot;
+                state.rollback_txn();
                 continue;
             }
             let base = state.earliest_cycle(node);
@@ -178,15 +186,10 @@ impl SaMapper {
                 }
             }
             if !placed {
-                state = snapshot;
+                state.rollback_txn();
                 continue;
             }
-            let incident: Vec<EdgeId> = dfg
-                .edges()
-                .filter(|e| e.src == node || e.dst == node)
-                .map(|e| e.id)
-                .collect();
-            for e in incident {
+            for &e in adj.incident(node) {
                 let _ = state.route_edge(e, &policy);
             }
             let new_cost = state.cost() + if state.timing_ok() { 0.0 } else { 500.0 };
@@ -194,8 +197,9 @@ impl SaMapper {
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-3)).exp();
             if accept {
                 best_cost = new_cost;
+                state.commit_txn();
             } else {
-                state = snapshot;
+                state.rollback_txn();
             }
             temperature *= self.options.cooling;
         }
@@ -284,16 +288,17 @@ impl SaMapper {
                     floored,
                 } => (start, warm, floored),
             };
-        // One capacity certificate accumulates across the entire ladder (all
+        // The capacity certificate accumulates across the entire ladder (all
         // II attempts, including failed ones), so the captured seed can
-        // prove its result transfers to differently-provisioned networks.
-        let cert = Arc::new(CapacityCert::new(arch.resources().len()));
+        // prove its result transfers to differently-provisioned networks;
+        // the adjacency index likewise serves every attempt.
+        let shared = LadderShared::of(dfg, arch);
         for ii in start..=max_ii {
             let mut rng = attempt_rng(self.options.seed, ii);
             // Scratch attempt first: when it succeeds the result is exactly
             // the unseeded one; the warm attempt only runs on IIs the
             // scratch search cannot close.
-            if let Some(state) = self.attempt_ii(dfg, arch, ii, &mut rng, None, &cert) {
+            if let Some(state) = self.attempt_ii(dfg, arch, ii, &mut rng, None, &shared) {
                 let mapping = state.into_mapping(self.name());
                 mapping.validate(dfg, arch)?;
                 // Floored results are canonical (the skipped prefix was
@@ -302,7 +307,7 @@ impl SaMapper {
                 let (outcome, run_cert) = if floored {
                     (SeedOutcome::Floored, None)
                 } else {
-                    (SeedOutcome::Scratch, Some(&*cert))
+                    (SeedOutcome::Scratch, Some(&*shared.cert))
                 };
                 return Ok(SeededMapping {
                     seed: PlacementSeed::capture_with_cert(
@@ -319,7 +324,7 @@ impl SaMapper {
             }
             if let Some(seed) = warm {
                 let mut rng = attempt_rng(self.options.seed ^ 0x5EED_CAFE, ii);
-                if let Some(state) = self.attempt_ii(dfg, arch, ii, &mut rng, Some(seed), &cert) {
+                if let Some(state) = self.attempt_ii(dfg, arch, ii, &mut rng, Some(seed), &shared) {
                     let mapping = state.into_mapping(self.name());
                     mapping.validate(dfg, arch)?;
                     return Ok(SeededMapping {
