@@ -287,13 +287,123 @@ impl Architecture {
 /// ([`crate::enumerate`]): the fabric topology is preserved while the sizing
 /// knobs change. Rebuilding goes through [`ArchBuilder`] so the consistency
 /// checks re-run; resource ids are preserved because the original builder
-/// allocated them densely.
+/// allocated them densely. For structured re-provisioning (per-link-group
+/// capacities, torus/express topology links) see [`rebuild_with_comm`].
 pub fn rebuild_provisioned(
     arch: &Architecture,
     name: impl Into<String>,
     params: ArchParams,
     scale_capacity: impl Fn(u32) -> u32,
 ) -> Architecture {
+    rebuild_scaled(arch, name, params, |r| match r.kind {
+        crate::resource::ResourceKind::FuncUnit(_) => 0,
+        crate::resource::ResourceKind::Switch { capacity } => scale_capacity(capacity),
+    })
+    .build()
+}
+
+/// Clones an architecture under a structured [`CommSpec`]: every switch
+/// capacity is scaled by the bandwidth class of its link-direction group
+/// (local intra-tile switches vs. the mesh-facing global router), and the
+/// spec's [`crate::comm::Topology`] contributes its extra inter-tile links
+/// (torus wraparound closing every row and column, or express links skipping
+/// `stride` tiles) between cluster global routers, registered at one cycle
+/// like the mesh links they augment.
+///
+/// For the legacy preset specs (mesh topology, one class on both groups)
+/// this is bit-identical to [`rebuild_provisioned`] with the scalar scaling
+/// closure: the same capacities in the same resource order, no extra links.
+pub fn rebuild_with_comm(
+    arch: &Architecture,
+    name: impl Into<String>,
+    params: ArchParams,
+    spec: &crate::comm::CommSpec,
+) -> Architecture {
+    use crate::comm::{LinkGroup, Topology};
+    // A switch belongs to the global group iff it is some cluster's
+    // mesh-facing router (Plaid global routers, baseline PE crossbars);
+    // everything else — Plaid local routers, ALU bypass paths — is local.
+    let global: std::collections::HashSet<u32> =
+        arch.clusters().iter().map(|c| c.global_router.0).collect();
+    let mut b = rebuild_scaled(arch, name, params, |r| match r.kind {
+        crate::resource::ResourceKind::FuncUnit(_) => 0,
+        crate::resource::ResourceKind::Switch { capacity } => {
+            let group = if global.contains(&r.id.0) {
+                LinkGroup::Global
+            } else {
+                LinkGroup::Local
+            };
+            spec.scale_capacity(group, capacity)
+        }
+    });
+    // Topology links run between cluster global routers, addressed by grid
+    // position. Appended after the copied links so preset (mesh) rebuilds
+    // keep the exact legacy link order; the builder deduplicates, so a
+    // wraparound that coincides with an existing mesh link (2-wide arrays)
+    // adds nothing.
+    let router_at: HashMap<(u32, u32), ResourceId> = arch
+        .clusters()
+        .iter()
+        .map(|c| {
+            let p = arch.tile_position(c.tile);
+            ((p.x, p.y), c.global_router)
+        })
+        .collect();
+    let cols = arch
+        .tile_positions
+        .iter()
+        .map(|p| p.x + 1)
+        .max()
+        .unwrap_or(0);
+    let rows = arch
+        .tile_positions
+        .iter()
+        .map(|p| p.y + 1)
+        .max()
+        .unwrap_or(0);
+    let mut connect = |a: (u32, u32), z: (u32, u32)| {
+        if let (Some(&from), Some(&to)) = (router_at.get(&a), router_at.get(&z)) {
+            if from != to {
+                b.bidirectional(from, to, 1);
+            }
+        }
+    };
+    match spec.topology {
+        Topology::Mesh => {}
+        Topology::Torus => {
+            for y in 0..rows {
+                connect((0, y), (cols.saturating_sub(1), y));
+            }
+            for x in 0..cols {
+                connect((x, 0), (x, rows.saturating_sub(1)));
+            }
+        }
+        Topology::Express { stride } => {
+            for y in 0..rows {
+                for x in 0..cols.saturating_sub(stride) {
+                    connect((x, y), (x + stride, y));
+                }
+            }
+            for x in 0..cols {
+                for y in 0..rows.saturating_sub(stride) {
+                    connect((x, y), (x, y + stride));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Shared clone loop of [`rebuild_provisioned`] and [`rebuild_with_comm`]:
+/// copies tiles, resources (switch capacities through `switch_capacity`,
+/// clamped to 1), links and clusters into a fresh builder, which the caller
+/// finalizes (optionally after adding topology links).
+fn rebuild_scaled(
+    arch: &Architecture,
+    name: impl Into<String>,
+    params: ArchParams,
+    switch_capacity: impl Fn(&Resource) -> u32,
+) -> ArchBuilder {
     let mut b = ArchBuilder::new(name, arch.class(), params);
     for tile in 0..arch.tile_positions.len() {
         let _ = b.add_tile(arch.tile_position(tile));
@@ -303,8 +413,8 @@ pub fn rebuild_provisioned(
             crate::resource::ResourceKind::FuncUnit(caps) => {
                 b.add_func_unit(r.tile, r.name.clone(), caps);
             }
-            crate::resource::ResourceKind::Switch { capacity } => {
-                b.add_switch(r.tile, r.name.clone(), scale_capacity(capacity).max(1));
+            crate::resource::ResourceKind::Switch { .. } => {
+                b.add_switch(r.tile, r.name.clone(), switch_capacity(r).max(1));
             }
         }
     }
@@ -314,7 +424,7 @@ pub fn rebuild_provisioned(
     for c in arch.clusters() {
         b.add_cluster(c.clone());
     }
-    b.build()
+    b
 }
 
 /// Incremental builder used by the architecture constructors in this crate.

@@ -16,65 +16,19 @@
 //! * **compute** — array dimensions (PE/PCU counts) and configuration-memory
 //!   depth (`config_entries`, the spatio-temporal axis that bounds the
 //!   maximum initiation interval);
-//! * **communication** — a [`CommLevel`] that scales both the structural
-//!   richness of the network (switch capacities) and its configuration cost
-//!   (router select bits in the [`ConfigBudget`]), so leaner networks are
-//!   cheaper but harder to route through.
+//! * **communication** — a structured [`CommSpec`]: NoC topology (mesh,
+//!   torus wraparound, express links), a bandwidth class per link-direction
+//!   group (scaling switch capacities), and the select-bit policy that
+//!   drives the communication share of the [`crate::ConfigBudget`]. The
+//!   legacy scalar [`CommLevel`] presets lower onto this axis bit-exactly
+//!   (see [`crate::comm`]).
 
 use serde::{Deserialize, Serialize};
 
-use crate::architecture::{rebuild_provisioned, ArchClass, Architecture};
+use crate::architecture::{rebuild_with_comm, ArchClass, Architecture};
+use crate::comm::CommSpec;
 use crate::params::ArchParams;
 use crate::{plaid, spatial, spatio_temporal};
-
-/// Communication provisioning level of a design point.
-///
-/// `Aligned` is the as-published network; `Lean` halves switch capacities and
-/// router select bits (an under-provisioned network that saves power but
-/// congests); `Rich` adds ~50% on both (an over-provisioned network that
-/// routes easily but pays for selects it rarely uses — the Figure 2
-/// pathology).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub enum CommLevel {
-    /// Under-provisioned: half the switch capacity and router bits.
-    Lean,
-    /// The as-published provisioning for the class.
-    Aligned,
-    /// Over-provisioned: ~1.5× switch capacity and router bits.
-    Rich,
-}
-
-impl CommLevel {
-    /// All levels, in lean-to-rich order.
-    pub const ALL: [CommLevel; 3] = [CommLevel::Lean, CommLevel::Aligned, CommLevel::Rich];
-
-    /// Report label.
-    pub fn label(self) -> &'static str {
-        match self {
-            CommLevel::Lean => "lean",
-            CommLevel::Aligned => "aligned",
-            CommLevel::Rich => "rich",
-        }
-    }
-
-    /// Scales a switch capacity for this provisioning level.
-    pub fn scale_capacity(self, capacity: u32) -> u32 {
-        match self {
-            CommLevel::Lean => (capacity / 2).max(1),
-            CommLevel::Aligned => capacity,
-            CommLevel::Rich => capacity + capacity.div_ceil(2),
-        }
-    }
-
-    /// Scales a communication bit budget for this provisioning level.
-    pub fn scale_bits(self, bits: u32) -> u32 {
-        match self {
-            CommLevel::Lean => (bits / 2).max(1),
-            CommLevel::Aligned => bits,
-            CommLevel::Rich => bits + bits.div_ceil(2),
-        }
-    }
-}
 
 /// One concrete point on the provisioning grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -87,13 +41,14 @@ pub struct DesignPoint {
     pub cols: u32,
     /// Configuration-memory depth (bounds the maximum initiation interval).
     pub config_entries: u32,
-    /// Communication provisioning level.
-    pub comm: CommLevel,
+    /// Communication provisioning (topology + per-link-group bandwidth).
+    pub comm: CommSpec,
 }
 
 impl DesignPoint {
-    /// Canonical label, e.g. `plaid-2x2/d16/aligned`. Stable across runs —
-    /// the explore cache keys include it.
+    /// Canonical label, e.g. `plaid-2x2/d16/aligned` or
+    /// `plaid-2x2/d16/torus-hb`. Stable across runs — the explore cache keys
+    /// include it, and legacy preset specs keep their scalar-era labels.
     pub fn label(&self) -> String {
         format!(
             "{}-{}x{}/d{}/{}",
@@ -106,7 +61,7 @@ impl DesignPoint {
     }
 
     /// Structural parameters of this point: the class defaults re-sized by
-    /// the configuration depth and communication level.
+    /// the configuration depth and communication spec.
     pub fn params(&self) -> ArchParams {
         let mut p = match self.class {
             ArchClass::SpatioTemporal | ArchClass::Spatial => {
@@ -115,7 +70,7 @@ impl DesignPoint {
             ArchClass::Plaid => ArchParams::plaid(self.rows, self.cols),
         };
         p.config_entries = self.config_entries;
-        p.config.communication_bits = self.comm.scale_bits(p.config.communication_bits);
+        p.config.communication_bits = self.comm.select_bits(p.config.communication_bits);
         p
     }
 
@@ -129,29 +84,45 @@ impl DesignPoint {
         self.rows * self.cols * per_tile
     }
 
+    /// Whether the point is structurally meaningful: non-zero array and
+    /// configuration depth, a valid comm spec, and — for express
+    /// topologies — a stride that actually fits the array. An express link
+    /// spanning past both dimensions would build a plain mesh while still
+    /// paying the express select-bit overhead, so such degenerate points
+    /// are rejected rather than mispriced. (A torus on a 2-wide array also
+    /// degenerates to the mesh, but at *zero* extra cost — its wraparound
+    /// deduplicates and it carries no bit overhead — so it stays valid.)
+    pub fn is_valid(&self) -> bool {
+        if self.rows == 0 || self.cols == 0 || self.config_entries == 0 || !self.comm.is_valid() {
+            return false;
+        }
+        match self.comm.topology {
+            crate::comm::Topology::Express { stride } => stride < self.rows.max(self.cols),
+            _ => true,
+        }
+    }
+
     /// Materializes the point as a mapper-ready [`Architecture`].
     ///
     /// # Panics
     ///
-    /// Panics if `rows`, `cols` or `config_entries` is zero (invalid points
-    /// should be filtered before building; [`SpaceSpec::enumerate`] never
-    /// yields them).
+    /// Panics if the point is invalid ([`DesignPoint::is_valid`]); invalid
+    /// points should be filtered before building — [`SpaceSpec::enumerate`]
+    /// never yields them.
     pub fn build(&self) -> Architecture {
-        assert!(self.config_entries > 0, "config_entries must be non-zero");
+        assert!(self.is_valid(), "invalid design point {self:?}");
         let base = match self.class {
             ArchClass::SpatioTemporal => spatio_temporal::build(self.rows, self.cols),
             ArchClass::Spatial => spatial::build(self.rows, self.cols),
             ArchClass::Plaid => plaid::build(self.rows, self.cols),
         };
-        rebuild_provisioned(&base, self.label(), self.params(), |c| {
-            self.comm.scale_capacity(c)
-        })
+        rebuild_with_comm(&base, self.label(), self.params(), &self.comm)
     }
 }
 
 /// A declarative description of a provisioning subspace: the cross product of
 /// the listed classes, dimensions, configuration depths and communication
-/// levels.
+/// specs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpaceSpec {
     /// Execution classes to enumerate.
@@ -160,14 +131,14 @@ pub struct SpaceSpec {
     pub dims: Vec<(u32, u32)>,
     /// Configuration-memory depths to enumerate.
     pub config_entries: Vec<u32>,
-    /// Communication levels to enumerate.
-    pub comm_levels: Vec<CommLevel>,
+    /// Communication specs to enumerate.
+    pub comm_specs: Vec<CommSpec>,
 }
 
 impl SpaceSpec {
     /// The default exploration grid: all three classes, arrays from 2×2 up to
     /// 4×4, the paper's 16-entry configuration memory plus a shallower
-    /// 8-entry variant, and all three communication levels.
+    /// 8-entry variant, and the three legacy communication presets.
     pub fn default_grid() -> Self {
         SpaceSpec {
             classes: vec![
@@ -177,48 +148,61 @@ impl SpaceSpec {
             ],
             dims: vec![(2, 2), (3, 3), (4, 4)],
             config_entries: vec![8, 16],
-            comm_levels: CommLevel::ALL.to_vec(),
+            comm_specs: CommSpec::presets(),
         }
     }
 
     /// A minimal grid used by smoke tests and benches: one dimension per
-    /// class at the published depth, all communication levels.
+    /// class at the published depth, the three legacy presets.
     pub fn smoke_grid() -> Self {
         SpaceSpec {
             classes: vec![ArchClass::SpatioTemporal, ArchClass::Plaid],
             dims: vec![(2, 2)],
             config_entries: vec![16],
-            comm_levels: CommLevel::ALL.to_vec(),
+            comm_specs: CommSpec::presets(),
         }
+    }
+
+    /// Replaces the communication axis with the cross product of the given
+    /// topologies and uniform bandwidth classes (proportional select bits),
+    /// in topology-major order.
+    pub fn with_comm_grid(
+        mut self,
+        topologies: &[crate::comm::Topology],
+        bw_classes: &[crate::comm::BwClass],
+    ) -> Self {
+        self.comm_specs = topologies
+            .iter()
+            .flat_map(|&t| bw_classes.iter().map(move |&b| CommSpec::uniform(t, b)))
+            .collect();
+        self
     }
 
     /// Number of points the spec will enumerate (before validity filtering).
     pub fn cardinality(&self) -> usize {
-        self.classes.len() * self.dims.len() * self.config_entries.len() * self.comm_levels.len()
+        self.classes.len() * self.dims.len() * self.config_entries.len() * self.comm_specs.len()
     }
 
     /// Enumerates the grid in a deterministic order (classes, then
-    /// dimensions, then depth, then communication level), skipping invalid
-    /// points (zero-sized arrays or zero-depth configuration memories).
+    /// dimensions, then depth, then communication spec), skipping invalid
+    /// points (zero-sized arrays, zero-depth configuration memories,
+    /// degenerate express strides — see [`DesignPoint::is_valid`]).
     pub fn enumerate(&self) -> Vec<DesignPoint> {
         let mut points = Vec::with_capacity(self.cardinality());
         for &class in &self.classes {
             for &(rows, cols) in &self.dims {
-                if rows == 0 || cols == 0 {
-                    continue;
-                }
                 for &config_entries in &self.config_entries {
-                    if config_entries == 0 {
-                        continue;
-                    }
-                    for &comm in &self.comm_levels {
-                        points.push(DesignPoint {
+                    for &comm in &self.comm_specs {
+                        let point = DesignPoint {
                             class,
                             rows,
                             cols,
                             config_entries,
                             comm,
-                        });
+                        };
+                        if point.is_valid() {
+                            points.push(point);
+                        }
                     }
                 }
             }
@@ -230,6 +214,7 @@ impl SpaceSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::{BwClass, CommLevel, LinkBw, SelectPolicy, Topology};
 
     #[test]
     fn default_grid_enumerates_the_full_cross_product() {
@@ -252,12 +237,28 @@ mod tests {
             classes: vec![ArchClass::Plaid],
             dims: vec![(0, 2), (2, 2)],
             config_entries: vec![0, 16],
-            comm_levels: vec![CommLevel::Aligned],
+            comm_specs: vec![
+                CommSpec::ALIGNED,
+                CommSpec::uniform(Topology::Express { stride: 1 }, BwClass::Base),
+                // Degenerate: a stride-2 express on a 2x2 array builds zero
+                // express links but would still pay the select-bit overhead.
+                CommSpec::uniform(Topology::Express { stride: 2 }, BwClass::Base),
+            ],
         };
         let points = spec.enumerate();
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].rows, 2);
         assert_eq!(points[0].config_entries, 16);
+        assert_eq!(points[0].comm, CommSpec::ALIGNED);
+        // The same stride fits a wider array.
+        let wide = DesignPoint {
+            class: ArchClass::Plaid,
+            rows: 2,
+            cols: 4,
+            config_entries: 16,
+            comm: CommSpec::uniform(Topology::Express { stride: 2 }, BwClass::Base),
+        };
+        assert!(wide.is_valid());
     }
 
     #[test]
@@ -267,7 +268,7 @@ mod tests {
             rows: 3,
             cols: 3,
             config_entries: 8,
-            comm: CommLevel::Aligned,
+            comm: CommSpec::ALIGNED,
         };
         let arch = point.build();
         assert_eq!(arch.functional_units().count(), 9);
@@ -277,20 +278,20 @@ mod tests {
     }
 
     #[test]
-    fn comm_levels_scale_capacity_and_bits_monotonically() {
+    fn comm_presets_scale_capacity_and_bits_monotonically() {
         let base = DesignPoint {
             class: ArchClass::Plaid,
             rows: 2,
             cols: 2,
             config_entries: 16,
-            comm: CommLevel::Aligned,
+            comm: CommSpec::ALIGNED,
         };
         let lean = DesignPoint {
-            comm: CommLevel::Lean,
+            comm: CommSpec::LEAN,
             ..base
         };
         let rich = DesignPoint {
-            comm: CommLevel::Rich,
+            comm: CommSpec::RICH,
             ..base
         };
         let bits = |p: &DesignPoint| p.params().config.communication_bits;
@@ -309,29 +310,153 @@ mod tests {
         };
         assert!(total_capacity(&lean) < total_capacity(&base));
         assert!(total_capacity(&base) < total_capacity(&rich));
-        // Compute provisioning is independent of the communication level.
+        // Compute provisioning is independent of the communication spec.
         assert_eq!(lean.compute_units(), rich.compute_units());
         assert_eq!(base.compute_units(), 16);
     }
 
     #[test]
-    fn lean_capacity_never_reaches_zero() {
-        assert_eq!(CommLevel::Lean.scale_capacity(1), 1);
-        assert_eq!(CommLevel::Rich.scale_capacity(5), 8);
-        assert_eq!(CommLevel::Aligned.scale_capacity(7), 7);
+    fn preset_lowering_reproduces_the_scalar_fabrics() {
+        // The legacy scalar levels and their lowered specs must build
+        // structurally identical fabrics: same resources, same capacities,
+        // same links, same parameters.
+        for level in CommLevel::ALL {
+            for (class, rows, cols) in [(ArchClass::SpatioTemporal, 3, 3), (ArchClass::Plaid, 2, 2)]
+            {
+                let point = DesignPoint {
+                    class,
+                    rows,
+                    cols,
+                    config_entries: 16,
+                    comm: level.spec(),
+                };
+                let built = point.build();
+                // Reference: the pre-refactor path — uniform capacity scale,
+                // uniform bit scale, no extra links.
+                let base = match class {
+                    ArchClass::SpatioTemporal => spatio_temporal::build(rows, cols),
+                    ArchClass::Spatial => spatial::build(rows, cols),
+                    ArchClass::Plaid => plaid::build(rows, cols),
+                };
+                let mut params = base.params().clone();
+                params.config_entries = 16;
+                params.config.communication_bits =
+                    level.scale_bits(params.config.communication_bits);
+                let reference =
+                    crate::architecture::rebuild_provisioned(&base, point.label(), params, |c| {
+                        level.scale_capacity(c)
+                    });
+                assert_eq!(built, reference, "{level:?}/{class:?} lowering diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_and_express_points_add_wraparound_links() {
+        let mesh = DesignPoint {
+            class: ArchClass::SpatioTemporal,
+            rows: 4,
+            cols: 4,
+            config_entries: 16,
+            comm: CommSpec::ALIGNED,
+        };
+        let torus = DesignPoint {
+            comm: CommSpec::uniform(Topology::Torus, BwClass::Base),
+            ..mesh
+        };
+        let express = DesignPoint {
+            comm: CommSpec::uniform(Topology::Express { stride: 2 }, BwClass::Base),
+            ..mesh
+        };
+        let mesh_arch = mesh.build();
+        let torus_arch = torus.build();
+        let express_arch = express.build();
+        // Same resources, more links.
+        assert_eq!(mesh_arch.resources().len(), torus_arch.resources().len());
+        // Torus: 4 rows + 4 cols of wraparound, bidirectional.
+        assert_eq!(
+            torus_arch.links().len(),
+            mesh_arch.links().len() + 2 * (4 + 4)
+        );
+        // Express stride 2: two links per row and per column, bidirectional.
+        assert_eq!(
+            express_arch.links().len(),
+            mesh_arch.links().len() + 2 * (2 * 4 + 2 * 4)
+        );
+        // Labels carry the topology.
+        assert_eq!(torus.label(), "spatio-temporal-4x4/d16/torus");
+        assert_eq!(express.label(), "spatio-temporal-4x4/d16/xp2");
+        // A torus on a 2-wide array degenerates to the mesh (wraparound
+        // duplicates the neighbour link and is deduplicated).
+        let small_mesh = DesignPoint {
+            rows: 2,
+            cols: 2,
+            ..mesh
+        };
+        let small_torus = DesignPoint {
+            rows: 2,
+            cols: 2,
+            ..torus
+        };
+        assert_eq!(
+            small_mesh.build().links().len(),
+            small_torus.build().links().len()
+        );
+    }
+
+    #[test]
+    fn split_bandwidth_scales_groups_independently() {
+        let point = |link_bw| DesignPoint {
+            class: ArchClass::Plaid,
+            rows: 2,
+            cols: 2,
+            config_entries: 16,
+            comm: CommSpec {
+                topology: Topology::Mesh,
+                link_bw,
+                select_policy: SelectPolicy::Proportional,
+            },
+        };
+        let lean_local = point(LinkBw {
+            local: BwClass::Half,
+            global: BwClass::Base,
+        })
+        .build();
+        // Global routers keep the published capacity; local routers halve.
+        for cluster in lean_local.clusters() {
+            assert_eq!(
+                lean_local.resource(cluster.global_router).kind.capacity(),
+                plaid::GLOBAL_ROUTER_CAPACITY
+            );
+            let local = cluster.local_router.unwrap();
+            assert_eq!(
+                lean_local.resource(local).kind.capacity(),
+                plaid::LOCAL_ROUTER_CAPACITY / 2
+            );
+        }
     }
 
     #[test]
     fn design_points_serialize_round_trip() {
-        let point = DesignPoint {
+        let mut points = SpaceSpec::default_grid().enumerate();
+        points.push(DesignPoint {
             class: ArchClass::Plaid,
             rows: 2,
             cols: 3,
             config_entries: 8,
-            comm: CommLevel::Rich,
-        };
-        let json = serde_json::to_string(&point).unwrap();
-        let back: DesignPoint = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, point);
+            comm: CommSpec {
+                topology: Topology::Express { stride: 2 },
+                link_bw: LinkBw {
+                    local: BwClass::Base,
+                    global: BwClass::Double,
+                },
+                select_policy: SelectPolicy::Fixed,
+            },
+        });
+        for point in points {
+            let json = serde_json::to_string(&point).unwrap();
+            let back: DesignPoint = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, point);
+        }
     }
 }

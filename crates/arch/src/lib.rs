@@ -23,9 +23,13 @@
 //!
 //! Beyond the fixed instances, [`enumerate`] exposes the provisioning space
 //! itself: [`SpaceSpec`] enumerates (class × dimensions × configuration
-//! depth × communication level) grids and [`DesignPoint::build`]
-//! materializes any point as a mapper-ready [`Architecture`] — the substrate
-//! of the `plaid-explore` design-space exploration engine.
+//! depth × communication spec) grids and [`DesignPoint::build`] materializes
+//! any point as a mapper-ready [`Architecture`] — the substrate of the
+//! `plaid-explore` design-space exploration engine. The communication axis
+//! is the structured [`CommSpec`] of [`comm`]: NoC topology (mesh, torus,
+//! express links), a bandwidth class per link-direction group and a
+//! select-bit policy; the legacy scalar [`CommLevel`] presets lower onto it
+//! bit-exactly.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod architecture;
+pub mod comm;
 pub mod enumerate;
 pub mod params;
 pub mod plaid;
@@ -50,7 +55,10 @@ pub mod spatial;
 pub mod spatio_temporal;
 pub mod specialize;
 
-pub use architecture::{rebuild_provisioned, ArchClass, Architecture, Cluster, Position};
-pub use enumerate::{CommLevel, DesignPoint, SpaceSpec};
+pub use architecture::{
+    rebuild_provisioned, rebuild_with_comm, ArchClass, Architecture, Cluster, Position,
+};
+pub use comm::{BwClass, CommLevel, CommSpec, LinkBw, LinkGroup, SelectPolicy, Topology};
+pub use enumerate::{DesignPoint, SpaceSpec};
 pub use params::{ArchParams, ConfigBudget, Domain, HardwiredPattern};
 pub use resource::{FuCaps, Link, Resource, ResourceId, ResourceKind};

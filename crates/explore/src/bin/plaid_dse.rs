@@ -11,7 +11,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use plaid_arch::{ArchClass, CommLevel, SpaceSpec};
+use plaid_arch::{ArchClass, BwClass, CommSpec, SpaceSpec, Topology};
 use plaid_explore::{run_sweep_with, FrontierReport, ResultCache, SeedPolicy, SweepPlan};
 use plaid_workloads::{table2_workloads, Workload};
 
@@ -34,6 +34,16 @@ USAGE:
 
 OPTIONS:
     --grid <default|smoke|full>   Architecture grid to enumerate [default: default]
+    --topology <LIST>             Replace the grid's communication axis with
+                                  the cross product of these topologies and
+                                  the --bw classes. Comma-separated:
+                                  mesh|torus|express[:N]|xpN, or 'all'
+                                  (mesh,torus,express)
+    --bw <LIST>                   Bandwidth classes for --topology crossing:
+                                  half|base|boost|double (comma-separated),
+                                  or 'all' [default: base]
+    --dims <LIST>                 Override the grid's array dimensions,
+                                  e.g. 4x4 or 2x2,3x3,4x4
     --workloads <SPEC>            Comma-separated workload names, 'all', or
                                   'repN' for every Nth registry workload
                                   [default: rep8 — 4 workloads spanning domains]
@@ -67,10 +77,44 @@ fn parse_grid(name: &str) -> Result<SpaceSpec, String> {
             ],
             dims: vec![(2, 2), (2, 4), (3, 3), (4, 4), (3, 5), (4, 6), (6, 6)],
             config_entries: vec![4, 8, 16, 32],
-            comm_levels: CommLevel::ALL.to_vec(),
+            comm_specs: CommSpec::presets(),
         }),
         other => Err(format!("unknown grid `{other}` (default|smoke|full)")),
     }
+}
+
+fn parse_topologies(spec: &str) -> Result<Vec<Topology>, String> {
+    if spec == "all" {
+        return Ok(vec![
+            Topology::Mesh,
+            Topology::Torus,
+            Topology::Express { stride: 2 },
+        ]);
+    }
+    spec.split(',').map(Topology::parse).collect()
+}
+
+fn parse_bw_classes(spec: &str) -> Result<Vec<BwClass>, String> {
+    if spec == "all" {
+        return Ok(BwClass::ALL.to_vec());
+    }
+    spec.split(',').map(BwClass::parse).collect()
+}
+
+fn parse_dims(spec: &str) -> Result<Vec<(u32, u32)>, String> {
+    spec.split(',')
+        .map(|dim| {
+            let (rows, cols) = dim
+                .split_once('x')
+                .ok_or_else(|| format!("bad dimensions `{dim}` (expected RxC, e.g. 4x4)"))?;
+            let rows: u32 = rows.parse().map_err(|_| format!("bad rows in `{dim}`"))?;
+            let cols: u32 = cols.parse().map_err(|_| format!("bad cols in `{dim}`"))?;
+            if rows == 0 || cols == 0 {
+                return Err(format!("dimensions must be non-zero in `{dim}`"));
+            }
+            Ok((rows, cols))
+        })
+        .collect()
 }
 
 fn parse_workloads(spec: &str) -> Result<Vec<Workload>, String> {
@@ -100,6 +144,9 @@ fn parse_workloads(spec: &str) -> Result<Vec<Workload>, String> {
 
 fn parse_args() -> Result<Option<Options>, String> {
     let mut grid = SpaceSpec::default_grid();
+    let mut topologies: Option<Vec<Topology>> = None;
+    let mut bw_classes: Option<Vec<BwClass>> = None;
+    let mut dims: Option<Vec<(u32, u32)>> = None;
     let mut workloads = parse_workloads("rep8").expect("default workload spec is valid");
     let mut passes = 2u32;
     let mut seed_policy = SeedPolicy::Exact;
@@ -117,6 +164,9 @@ fn parse_args() -> Result<Option<Options>, String> {
         };
         match arg.as_str() {
             "--grid" => grid = parse_grid(&value("--grid")?)?,
+            "--topology" => topologies = Some(parse_topologies(&value("--topology")?)?),
+            "--bw" => bw_classes = Some(parse_bw_classes(&value("--bw")?)?),
+            "--dims" => dims = Some(parse_dims(&value("--dims")?)?),
             "--workloads" => workloads = parse_workloads(&value("--workloads")?)?,
             "--passes" => {
                 passes = value("--passes")?
@@ -140,6 +190,19 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             other => return Err(format!("unknown option `{other}` (see --help)")),
         }
+    }
+
+    // --topology / --bw replace the grid's communication axis with the
+    // cross product of the requested topologies and (uniform) bandwidth
+    // classes; --dims overrides the array dimensions. `--bw` without
+    // `--topology` varies bandwidth on the mesh.
+    if topologies.is_some() || bw_classes.is_some() {
+        let topologies = topologies.unwrap_or_else(|| vec![Topology::Mesh]);
+        let bw_classes = bw_classes.unwrap_or_else(|| vec![BwClass::Base]);
+        grid = grid.with_comm_grid(&topologies, &bw_classes);
+    }
+    if let Some(dims) = dims {
+        grid.dims = dims;
     }
 
     let options = Options {

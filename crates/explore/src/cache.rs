@@ -231,10 +231,10 @@ impl ResultCache {
 mod tests {
     use super::*;
     use plaid::pipeline::MapperChoice;
-    use plaid_arch::{ArchClass, CommLevel, DesignPoint};
+    use plaid_arch::{ArchClass, BwClass, CommLevel, CommSpec, DesignPoint, Topology};
     use plaid_workloads::find_workload;
 
-    fn point(workload: &str, comm: CommLevel) -> SweepPoint {
+    fn spec_point(workload: &str, comm: CommSpec) -> SweepPoint {
         SweepPoint {
             workload: find_workload(workload).unwrap(),
             design: DesignPoint {
@@ -248,6 +248,10 @@ mod tests {
         }
     }
 
+    fn point(workload: &str, comm: CommLevel) -> SweepPoint {
+        spec_point(workload, comm.spec())
+    }
+
     #[test]
     fn keys_are_stable_and_content_sensitive() {
         let a = cache_key(&point("dwconv", CommLevel::Aligned));
@@ -258,6 +262,52 @@ mod tests {
         let d = cache_key(&point("fc", CommLevel::Aligned));
         assert_ne!(a, d, "different workload, different key");
         assert!(a.starts_with("v1:"));
+    }
+
+    #[test]
+    fn structured_comm_specs_never_alias_a_preset_key() {
+        // Regression for the scalar-era latent bug: a key derived from a
+        // 3-valued comm scalar cannot distinguish specs that share a
+        // bandwidth level but differ in topology or per-group allocation.
+        // The key must cover the *full* comm structure.
+        let aligned = spec_point("dwconv", CommSpec::ALIGNED);
+        let torus = spec_point("dwconv", CommSpec::uniform(Topology::Torus, BwClass::Base));
+        let express = spec_point(
+            "dwconv",
+            CommSpec::uniform(Topology::Express { stride: 2 }, BwClass::Base),
+        );
+        let split = spec_point(
+            "dwconv",
+            CommSpec {
+                topology: Topology::Mesh,
+                link_bw: plaid_arch::LinkBw {
+                    local: BwClass::Half,
+                    global: BwClass::Base,
+                },
+                select_policy: plaid_arch::SelectPolicy::Proportional,
+            },
+        );
+        let keys = [
+            cache_key(&aligned),
+            cache_key(&torus),
+            cache_key(&express),
+            cache_key(&split),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "specs {i} and {j} alias one cache key");
+                }
+            }
+        }
+        // And even under a forced key collision, the bucket's identity check
+        // keeps the records apart (the design embeds the full spec).
+        let cache = ResultCache::new();
+        cache.insert(keys[0].clone(), EvalRecord::failed(&torus, "torus"));
+        assert!(
+            cache.lookup(&keys[0], &aligned).is_none(),
+            "a torus record must never serve an aligned lookup"
+        );
     }
 
     #[test]

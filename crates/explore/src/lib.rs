@@ -8,7 +8,9 @@
 //!
 //! 1. [`plaid_arch::enumerate::SpaceSpec`] enumerates architecture points
 //!    across the compute axis (array dimensions, configuration-memory depth)
-//!    and the communication axis ([`plaid_arch::CommLevel`]);
+//!    and the structured communication axis ([`plaid_arch::CommSpec`]:
+//!    topology × per-link-group bandwidth × select policy, with the legacy
+//!    [`plaid_arch::CommLevel`] presets lowering onto it bit-exactly);
 //! 2. [`sweep::SweepPlan`] crosses those points with workloads and
 //!    [`sweep::run_sweep`] evaluates them in parallel through the
 //!    `plaid::pipeline`, memoizing every result in a content-addressed
@@ -24,7 +26,7 @@
 //! # Example
 //!
 //! ```
-//! use plaid_arch::{ArchClass, CommLevel, SpaceSpec};
+//! use plaid_arch::{ArchClass, CommSpec, SpaceSpec};
 //! use plaid_explore::{run_sweep, FrontierReport, ResultCache, SweepPlan};
 //! use plaid_workloads::find_workload;
 //!
@@ -32,7 +34,7 @@
 //!     classes: vec![ArchClass::Plaid],
 //!     dims: vec![(2, 2)],
 //!     config_entries: vec![16],
-//!     comm_levels: vec![CommLevel::Aligned],
+//!     comm_specs: vec![CommSpec::ALIGNED],
 //! };
 //! let plan = SweepPlan::cross(&[find_workload("dwconv").unwrap()], &spec);
 //! let cache = ResultCache::new();

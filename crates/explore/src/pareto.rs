@@ -159,7 +159,7 @@ impl FrontierReport {
                         r.arch.clone(),
                         r.mapper.label().to_string(),
                         r.compute_units.to_string(),
-                        r.design.comm.label().to_string(),
+                        r.design.comm.label(),
                         r.design.config_entries.to_string(),
                         obj.cycles.to_string(),
                         format!("{:.0}", obj.area_um2),
@@ -277,7 +277,7 @@ mod tests {
 
     fn record_with_metrics(area: f64, energy: f64) -> EvalRecord {
         use plaid::pipeline::{CompileSummary, MapperChoice};
-        use plaid_arch::{ArchClass, CommLevel, DesignPoint};
+        use plaid_arch::{ArchClass, CommSpec, DesignPoint};
         use plaid_motif::CoverageStats;
         use plaid_sim::metrics::EvalMetrics;
         use plaid_workloads::{Domain, WorkloadDescriptor};
@@ -294,7 +294,7 @@ mod tests {
                 rows: 2,
                 cols: 2,
                 config_entries: 16,
-                comm: CommLevel::Aligned,
+                comm: CommSpec::ALIGNED,
             },
             arch: format!("synthetic-a{area}-e{energy}"),
             mapper: MapperChoice::Plaid,

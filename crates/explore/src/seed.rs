@@ -94,16 +94,20 @@ impl SeedFamily {
         }
     }
 
-    /// The *super-family* of a sweep point: the communication axis erased as
-    /// well. Points in one super-family share everything but configuration
-    /// depth and switch capacities — exactly the set a capacity-certified
-    /// seed can hope to transfer across.
+    /// The *super-family* of a sweep point: the communication *bandwidth*
+    /// erased as well (via [`plaid_arch::CommSpec::structural_family`],
+    /// which keeps the topology — a torus fabric's links differ from a
+    /// mesh's, so their mappings never transfer). Points in one super-family
+    /// share everything but configuration depth and switch capacities —
+    /// exactly the set a capacity-certified seed can hope to transfer
+    /// across. All three legacy presets collapse to the aligned spec, as
+    /// under the scalar encoding.
     pub fn super_of(point: &SweepPoint) -> Self {
         SeedFamily {
             workload: point.workload.name.clone(),
             family: DesignPoint {
                 config_entries: 0,
-                comm: plaid_arch::CommLevel::Aligned,
+                comm: point.design.comm.structural_family(),
                 ..point.design
             },
             mapper: point.mapper,
@@ -113,26 +117,30 @@ impl SeedFamily {
 
 /// Distance between two design points under the provisioning metric used for
 /// nearest-neighbour seed retrieval: array dimensions dominate, then the
-/// communication level, then configuration depth. Points of different
+/// communication spec, then configuration depth. Points of different
 /// execution classes are infinitely far apart (their mappings do not
 /// translate).
+///
+/// The communication component is the canonical
+/// [`plaid_arch::CommSpec::distance`] metric: bandwidth-magnitude
+/// proximity (one preset step = 2 units, so on the legacy presets this
+/// reproduces the scalar-era metric exactly — `aligned` is nearer to
+/// `rich` than `lean` is), a large constant for a topology mismatch
+/// (mappings do not translate across link structures) and a small one for
+/// a select-policy mismatch. Note this is deliberately *not* the
+/// scheduling order [`plaid_arch::CommSpec::order_rank`] that
+/// `run_sweep_with` groups by: aligned-first is the right evaluation
+/// order, but it is not a proximity scale.
 pub fn provisioning_distance(a: &DesignPoint, b: &DesignPoint) -> u32 {
     if a.class != b.class {
         return u32::MAX;
     }
     let dims = (a.rows * a.cols).abs_diff(b.rows * b.cols);
-    let comm = comm_rank(a).abs_diff(comm_rank(b));
+    let comm = a.comm.distance(b.comm);
     let depth = depth_steps(a.config_entries).abs_diff(depth_steps(b.config_entries));
     dims.saturating_mul(16)
-        .saturating_add(comm * 4)
+        .saturating_add(comm.saturating_mul(2))
         .saturating_add(depth)
-}
-
-fn comm_rank(p: &DesignPoint) -> u32 {
-    plaid_arch::CommLevel::ALL
-        .iter()
-        .position(|&c| c == p.comm)
-        .unwrap_or(0) as u32
 }
 
 fn depth_steps(entries: u32) -> u32 {
@@ -307,7 +315,7 @@ mod tests {
                 rows: 2,
                 cols: 2,
                 config_entries: depth,
-                comm,
+                comm: comm.spec(),
             },
             mapper: MapperChoice::PathFinder,
         }
@@ -321,7 +329,7 @@ mod tests {
             ..base
         };
         let comm_only = DesignPoint {
-            comm: CommLevel::Rich,
+            comm: CommLevel::Rich.spec(),
             ..base
         };
         let dims_only = DesignPoint {
@@ -379,14 +387,14 @@ mod tests {
         // signatures match; a certified plaid/SA seed transfers. Use the
         // plaid mapper (certified) on a plaid fabric.
         let workload = find_workload("dwconv").unwrap();
-        let mk = |comm| SweepPoint {
+        let mk = |comm: CommLevel| SweepPoint {
             workload: workload.clone(),
             design: DesignPoint {
                 class: ArchClass::Plaid,
                 rows: 2,
                 cols: 2,
                 config_entries: 16,
-                comm,
+                comm: comm.spec(),
             },
             mapper: MapperChoice::Plaid,
         };
@@ -404,6 +412,52 @@ mod tests {
             assert!(seed.canonical);
             assert!(!seed.cap_need.is_empty(), "plaid seeds are certified");
         }
+    }
+
+    #[test]
+    fn topology_survives_super_family_erasure() {
+        use plaid_arch::{BwClass, CommSpec, Topology};
+        // Bandwidth is erased (all presets group together, as under the
+        // scalar encoding) but topology is not: a torus fabric's links
+        // differ from a mesh's, so their seeds must never share a family.
+        let mk = |comm: CommSpec| SweepPoint {
+            workload: find_workload("dwconv").unwrap(),
+            design: DesignPoint {
+                class: ArchClass::SpatioTemporal,
+                rows: 3,
+                cols: 3,
+                config_entries: 16,
+                comm,
+            },
+            mapper: MapperChoice::PathFinder,
+        };
+        let lean = mk(CommLevel::Lean.spec());
+        let rich = mk(CommLevel::Rich.spec());
+        let torus_half = mk(CommSpec::uniform(Topology::Torus, BwClass::Half));
+        let torus_base = mk(CommSpec::uniform(Topology::Torus, BwClass::Base));
+        assert_eq!(SeedFamily::super_of(&lean), SeedFamily::super_of(&rich));
+        assert_eq!(
+            SeedFamily::super_of(&torus_half),
+            SeedFamily::super_of(&torus_base)
+        );
+        assert_ne!(
+            SeedFamily::super_of(&lean),
+            SeedFamily::super_of(&torus_base),
+            "mesh and torus grouped together"
+        );
+        // The distance metric agrees: cross-topology specs are far apart,
+        // same-topology bandwidth siblings are near.
+        let near = provisioning_distance(&torus_half.design, &torus_base.design);
+        let far = provisioning_distance(&lean.design, &torus_base.design);
+        assert!(near < far, "{near} < {far}");
+        // And the mapper-facing fabric signatures differ across topologies
+        // even with capacities erased, so no seed can transfer.
+        let mesh_arch = lean.design.build();
+        let torus_arch = torus_base.design.build();
+        assert_ne!(
+            plaid::pipeline::fabric_signature_nocap(&mesh_arch),
+            plaid::pipeline::fabric_signature_nocap(&torus_arch)
+        );
     }
 
     #[test]

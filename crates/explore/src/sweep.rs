@@ -207,32 +207,7 @@ pub fn run_sweep_with(plan: &SweepPlan, cache: &ResultCache, policy: SeedPolicy)
     let seeded = AtomicUsize::new(0);
     let seed_hits = AtomicUsize::new(0);
 
-    // Group plan indices by super-family, ordered by first appearance so the
-    // grouping is deterministic. Within a group: ascending depth (the cheap
-    // shallow ladder is a prefix of every deeper one), and the as-published
-    // aligned network first within a depth (its certificate transfers to
-    // both the lean and rich variants when capacity never binds).
-    let comm_order = |c: plaid_arch::CommLevel| match c {
-        plaid_arch::CommLevel::Aligned => 0u8,
-        plaid_arch::CommLevel::Lean => 1,
-        plaid_arch::CommLevel::Rich => 2,
-    };
-    let mut group_of: HashMap<SeedFamily, usize> = HashMap::new();
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    for (i, point) in plan.points.iter().enumerate() {
-        let family = SeedFamily::super_of(point);
-        let g = *group_of.entry(family).or_insert_with(|| {
-            groups.push(Vec::new());
-            groups.len() - 1
-        });
-        groups[g].push(i);
-    }
-    for group in &mut groups {
-        group.sort_by_key(|&i| {
-            let d = &plan.points[i].design;
-            (d.config_entries, comm_order(d.comm), i)
-        });
-    }
+    let groups = group_points_for_seeding(plan);
 
     let evaluated: Vec<Vec<(usize, EvalRecord)>> = groups
         .par_iter()
@@ -273,6 +248,36 @@ pub fn run_sweep_with(plan: &SweepPlan, cache: &ResultCache, policy: SeedPolicy)
         },
         records,
     }
+}
+
+/// Groups plan indices by seed super-family for a warm-started sweep,
+/// ordered by first appearance so the grouping is deterministic. Within a
+/// group: ascending depth (the cheap shallow ladder is a prefix of every
+/// deeper one), then the canonical communication scheduling order
+/// ([`plaid_arch::CommSpec::order_rank`]): the as-published aligned network
+/// first within a depth — its certificate transfers to both the lean and
+/// rich variants when capacity never binds — then the remaining presets,
+/// then structured specs by topology and bandwidth. This is the single
+/// grouping used by [`run_sweep_with`] (and pinned by the stable-grouping
+/// test).
+fn group_points_for_seeding(plan: &SweepPlan) -> Vec<Vec<usize>> {
+    let mut group_of: HashMap<SeedFamily, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, point) in plan.points.iter().enumerate() {
+        let family = SeedFamily::super_of(point);
+        let g = *group_of.entry(family).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(i);
+    }
+    for group in &mut groups {
+        group.sort_by_key(|&i| {
+            let d = &plan.points[i].design;
+            (d.config_entries, d.comm.order_rank(), i)
+        });
+    }
+    groups
 }
 
 /// Evaluates one point with warm-start seeding, consulting (and feeding)
@@ -341,7 +346,7 @@ fn evaluate_point_seeded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use plaid_arch::CommLevel;
+    use plaid_arch::{BwClass, CommSpec, Topology};
     use plaid_workloads::find_workload;
 
     fn tiny_plan() -> SweepPlan {
@@ -349,7 +354,7 @@ mod tests {
             classes: vec![ArchClass::Plaid],
             dims: vec![(2, 2)],
             config_entries: vec![16],
-            comm_levels: vec![CommLevel::Aligned, CommLevel::Rich],
+            comm_specs: vec![CommSpec::ALIGNED, CommSpec::RICH],
         };
         SweepPlan::cross(&[find_workload("dwconv").unwrap()], &spec)
     }
@@ -398,12 +403,72 @@ mod tests {
             classes: vec![ArchClass::Plaid],
             dims: vec![(2, 2)],
             config_entries: vec![16],
-            comm_levels: CommLevel::ALL.to_vec(),
+            comm_specs: CommSpec::presets(),
         };
         let bigger = SweepPlan::cross(&[find_workload("dwconv").unwrap()], &spec);
         let outcome = run_sweep(&bigger, &cache);
         assert_eq!(outcome.stats.points, 3);
         assert_eq!(outcome.stats.compiled, 1);
         assert_eq!(outcome.stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn seed_group_ordering_is_stable_and_canonical() {
+        // The canonical comm ordering (CommSpec::order_rank) must schedule a
+        // mixed preset/structured axis deterministically: depth first, then
+        // aligned before lean before rich before structured specs — and the
+        // grouping must be identical across repeated plan constructions.
+        let spec = SpaceSpec {
+            classes: vec![ArchClass::SpatioTemporal],
+            dims: vec![(2, 2)],
+            config_entries: vec![16, 8],
+            comm_specs: vec![
+                CommSpec::uniform(Topology::Torus, BwClass::Base),
+                CommSpec::RICH,
+                CommSpec::LEAN,
+                CommSpec::ALIGNED,
+            ],
+        };
+        let plan = SweepPlan::cross(&[find_workload("dwconv").unwrap()], &spec);
+        // Exercises the production grouping (`group_points_for_seeding`,
+        // the one `run_sweep_with` schedules by), not a private re-derivation.
+        let order_of = |plan: &SweepPlan| -> Vec<Vec<String>> {
+            group_points_for_seeding(plan)
+                .iter()
+                .map(|g| g.iter().map(|&i| plan.points[i].design.label()).collect())
+                .collect()
+        };
+        let groups = order_of(&plan);
+        assert_eq!(groups, order_of(&plan), "grouping must be deterministic");
+        // Torus points form their own structural family; preset points share
+        // one, scheduled depth-major then aligned/lean/rich.
+        assert_eq!(groups.len(), 2);
+        let preset_group: &Vec<String> = groups
+            .iter()
+            .find(|g| g.iter().any(|l| l.ends_with("/aligned")))
+            .unwrap();
+        let expected: Vec<String> = [
+            "d8/aligned",
+            "d8/lean",
+            "d8/rich",
+            "d16/aligned",
+            "d16/lean",
+            "d16/rich",
+        ]
+        .iter()
+        .map(|s| format!("spatio-temporal-2x2/{s}"))
+        .collect();
+        assert_eq!(preset_group, &expected);
+        let torus_group: &Vec<String> = groups
+            .iter()
+            .find(|g| g.iter().any(|l| l.contains("torus")))
+            .unwrap();
+        assert_eq!(
+            torus_group,
+            &vec![
+                "spatio-temporal-2x2/d8/torus".to_string(),
+                "spatio-temporal-2x2/d16/torus".to_string(),
+            ]
+        );
     }
 }

@@ -62,7 +62,7 @@ pub mod state;
 
 pub use error::MapError;
 pub use mapping::{Mapping, Placement, Route, RouteHop};
-pub use mii::{mii, rec_mii, res_mii};
+pub use mii::{comm_mii, mii, rec_mii, res_mii};
 pub use pathfinder::{PathFinderMapper, PathFinderOptions};
 pub use plaid::{PlaidMapper, PlaidMapperOptions};
 pub use sa::{SaMapper, SaOptions};

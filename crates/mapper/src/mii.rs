@@ -1,11 +1,18 @@
 //! Minimum initiation interval (MII) computation.
 //!
-//! `MII = max(ResMII, RecMII)` (Section 5.1):
+//! `MII = max(ResMII, RecMII, CommMII)` (Section 5.1, extended with a
+//! communication bound for the structured comm axis):
 //!
 //! * **ResMII** — resource-constrained bound: the busiest resource class
 //!   (compute units or memory ports) must fit within II cycles.
 //! * **RecMII** — recurrence-constrained bound: every dependency cycle through
 //!   inter-iteration edges must complete within `distance × II` cycles.
+//! * **CommMII** — link-bandwidth bound: every data-carrying edge occupies at
+//!   least one switch slot per iteration (no fabric links functional units
+//!   directly), so the aggregate per-cycle switch capacity times II must
+//!   cover the data-edge count. On the as-published networks this bound is
+//!   almost always 1; it starts binding on the under-provisioned
+//!   (`BwClass::Half`) variants of the structured communication axis.
 
 use std::collections::HashMap;
 
@@ -56,9 +63,44 @@ pub fn rec_mii(dfg: &Dfg) -> u32 {
     best
 }
 
-/// Minimum II: `max(ResMII, RecMII)`.
+/// Communication-constrained minimum II.
+///
+/// Sound lower bound: every *distinct routed value* (a node with at least
+/// one data-carrying out-edge) occupies at least one `(switch, slot)` cell
+/// of the modulo occupancy table — all modelled fabrics connect functional
+/// units exclusively through switches, and two different values can never
+/// share a cell. Fanout edges of one value *can* share cells (occupancy is
+/// per `(resource, slot, value)`), which is why the bound counts values,
+/// not edges: an edge count would overestimate and make the ladder skip
+/// feasible IIs. The table has `total switch capacity × II` cells, so
+/// `II >= ceil(routed_values / total_capacity)`. Keys on the link structure
+/// the structured [`plaid_arch::CommSpec`] axis provisions: halving
+/// per-link bandwidth halves the denominator.
+pub fn comm_mii(dfg: &Dfg, arch: &Architecture) -> u32 {
+    let routed_values = dfg
+        .node_ids()
+        .filter(|&n| dfg.out_edges(n).any(|e| dfg.edge_carries_data(e)))
+        .count() as u32;
+    if routed_values == 0 {
+        return 1;
+    }
+    let bandwidth: u32 = arch
+        .resources()
+        .iter()
+        .filter(|r| !r.kind.is_func_unit())
+        .map(|r| r.kind.capacity())
+        .sum();
+    if bandwidth == 0 {
+        return u32::MAX;
+    }
+    routed_values.div_ceil(bandwidth).max(1)
+}
+
+/// Minimum II: `max(ResMII, RecMII, CommMII)`.
 pub fn mii(dfg: &Dfg, arch: &Architecture) -> u32 {
-    res_mii(dfg, arch).max(rec_mii(dfg))
+    res_mii(dfg, arch)
+        .max(rec_mii(dfg))
+        .max(comm_mii(dfg, arch))
 }
 
 /// Longest path (in unit latencies, i.e. number of edges) from `from` to `to`
@@ -168,6 +210,30 @@ mod tests {
         let dfg = reduction_dfg(1);
         assert_eq!(mii(&dfg, &st), rec_mii(&dfg).max(res_mii(&dfg, &st)));
         assert!(mii(&dfg, &st) >= 3);
+    }
+
+    #[test]
+    fn comm_mii_binds_only_when_bandwidth_is_starved() {
+        let dfg = reduction_dfg(4);
+        let st = spatio_temporal::build(4, 4);
+        // The as-published 4x4 network offers 16 x 5 = 80 switch slots per
+        // cycle — far more than the DFG has data edges.
+        assert_eq!(comm_mii(&dfg, &st), 1);
+        // A starved network (every switch down to capacity 1) must spread the
+        // same values across II cycles.
+        let params = st.params().clone();
+        let starved = plaid_arch::rebuild_provisioned(&st, "starved", params, |_| 1);
+        let routed_values = dfg
+            .node_ids()
+            .filter(|&n| dfg.out_edges(n).any(|e| dfg.edge_carries_data(e)))
+            .count() as u32;
+        assert!(routed_values > 16, "unrolled reduction routes many values");
+        assert_eq!(comm_mii(&dfg, &starved), routed_values.div_ceil(16));
+        assert!(mii(&dfg, &starved) >= comm_mii(&dfg, &starved));
+        // Fanout shares slots: the bound must count values, not edges, so it
+        // never exceeds the value count even on a maximally starved fabric.
+        let data_edges = dfg.edges().filter(|e| dfg.edge_carries_data(e)).count() as u32;
+        assert!(routed_values <= data_edges);
     }
 
     #[test]

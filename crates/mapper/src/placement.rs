@@ -401,6 +401,60 @@ impl<'a> MapState<'a> {
         fus
     }
 
+    /// Whether every data-carrying edge incident to `node` whose other
+    /// endpoint is already placed would admit a switch-level path of the
+    /// exact required length if `node` were placed at `(fu, cycle)`.
+    ///
+    /// Purely structural (occupancy is ignored): a `false` answer proves
+    /// that *no* route can ever exist while both endpoints keep these
+    /// placements — either the timing budget is non-positive or the
+    /// exact-time reachability table has no live cell. Placement heuristics
+    /// use this to skip provably dead `(fu, cycle)` candidates.
+    pub fn incident_edges_reachable(&mut self, node: NodeId, fu: ResourceId, cycle: u32) -> bool {
+        let adj = Arc::clone(&self.adj);
+        for &e in adj.ins(node) {
+            let edge = self.dfg.edge(e);
+            if !self.dfg.edge_carries_data(edge) {
+                continue;
+            }
+            let Some(src) = self.placements.get(&edge.src).copied() else {
+                continue;
+            };
+            let arrival = match edge.kind {
+                EdgeKind::Data => cycle,
+                EdgeKind::Recurrence { distance } => cycle + distance * self.ii,
+            };
+            if arrival <= src.cycle
+                || !self
+                    .scratch
+                    .structurally_routable(self.arch, src.fu, fu, arrival - src.cycle)
+            {
+                return false;
+            }
+        }
+        for &e in adj.outs(node) {
+            let edge = self.dfg.edge(e);
+            if !self.dfg.edge_carries_data(edge) {
+                continue;
+            }
+            let Some(dst) = self.placements.get(&edge.dst).copied() else {
+                continue;
+            };
+            let arrival = match edge.kind {
+                EdgeKind::Data => dst.cycle,
+                EdgeKind::Recurrence { distance } => dst.cycle + distance * self.ii,
+            };
+            if arrival <= cycle
+                || !self
+                    .scratch
+                    .structurally_routable(self.arch, fu, dst.fu, arrival - cycle)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Converts the state into an immutable [`Mapping`].
     pub fn into_mapping(self, mapper_name: &str) -> Mapping {
         Mapping {

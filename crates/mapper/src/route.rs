@@ -201,6 +201,36 @@ impl RouterScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Whether a switch-only path of *exactly* `budget` cycles exists from
+    /// `src_fu` to `dst_fu`, ignoring occupancy — the structural
+    /// prerequisite for any route of that edge. Answered from the cached
+    /// per-destination exact-time reachability table, so repeated queries
+    /// against one fabric are table lookups. Used by the placement layer to
+    /// skip candidate slots whose incident edges provably cannot be routed.
+    pub fn structurally_routable(
+        &mut self,
+        arch: &Architecture,
+        src_fu: ResourceId,
+        dst_fu: ResourceId,
+        budget: u32,
+    ) -> bool {
+        if budget == 0 {
+            return false;
+        }
+        let reach = self.reach.table(arch, dst_fu, budget);
+        arch.out_links(src_fu).any(|link| {
+            if link.to == dst_fu {
+                // Direct FU-to-FU links do not exist on the modelled
+                // fabrics, but handle them soundly anyway.
+                return link.latency == budget;
+            }
+            if arch.resource(link.to).kind.is_func_unit() {
+                return false;
+            }
+            link.latency <= budget && reach.alive(link.to.0, budget - link.latency)
+        })
+    }
 }
 
 /// The Dijkstra working set (separate from the reachability cache so both

@@ -212,18 +212,41 @@ impl SaMapper {
 }
 
 /// Places a node on any functional unit with a free modulo slot, ignoring
-/// routability (annealing will repair the routes).
+/// *congestion* (annealing will repair overused routes) but not structural
+/// routability: candidate slots whose incident placed edges provably cannot
+/// be routed — the exact-time reachability table has no live path of the
+/// required length — are skipped, so the anneal never starts from a
+/// placement that could only ever persist in an incomplete state. When no
+/// reachable slot exists the old any-free-slot behaviour is the fallback
+/// (annealing can still repair such a state by moving the *other* endpoint).
+/// Behaviour preservation across the workload suite is pinned by
+/// `tests/mapper_bitident.rs`.
 fn place_anywhere(state: &mut MapState<'_>, node: NodeId) -> bool {
     let base = state.earliest_cycle(node);
     let candidates = state.candidate_fus(node);
+    // One scan: take the first free slot whose edges are reachable,
+    // remembering the first merely-free slot as the fallback (the scan
+    // only reads state, so the fallback is exactly what a second
+    // unfiltered pass would pick).
+    let mut first_free = None;
     for offset in 0..(state.ii * 2) {
         for &fu in &candidates {
             let cycle = base + offset;
-            if state.can_place(node, fu, cycle) {
+            if !state.can_place(node, fu, cycle) {
+                continue;
+            }
+            if state.incident_edges_reachable(node, fu, cycle) {
                 state.place(node, fu, cycle);
                 return true;
             }
+            if first_free.is_none() {
+                first_free = Some((fu, cycle));
+            }
         }
+    }
+    if let Some((fu, cycle)) = first_free {
+        state.place(node, fu, cycle);
+        return true;
     }
     false
 }

@@ -422,7 +422,7 @@ mod tests {
             assert_eq!(i64::deserialize(&v.serialize()).unwrap(), v);
         }
         assert_eq!(u64::deserialize(&u64::MAX.serialize()).unwrap(), u64::MAX);
-        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
         assert_eq!(
             String::deserialize(&"hi".to_string().serialize()).unwrap(),
             "hi"

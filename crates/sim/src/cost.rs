@@ -33,6 +33,10 @@ pub struct PowerBreakdown {
     pub local_routers: f64,
     /// Global routers / PE crossbars.
     pub global_routers: f64,
+    /// NoC wiring beyond the mesh baseline (torus wraparound, express
+    /// links), charged per tile-unit of extra wire length — zero on the
+    /// published mesh fabrics.
+    pub noc_wiring: f64,
     /// Communication configuration memory.
     pub comm_config: f64,
     /// Compute configuration memory.
@@ -48,6 +52,7 @@ impl PowerBreakdown {
     pub fn total(&self) -> f64 {
         self.local_routers
             + self.global_routers
+            + self.noc_wiring
             + self.comm_config
             + self.compute_config
             + self.compute
@@ -76,6 +81,10 @@ pub struct AreaBreakdown {
     pub local_routers: f64,
     /// Global routers / PE crossbars.
     pub global_routers: f64,
+    /// NoC wiring beyond the mesh baseline (torus wraparound, express
+    /// links), charged per tile-unit of extra wire length — zero on the
+    /// published mesh fabrics.
+    pub noc_wiring: f64,
     /// Communication configuration memory.
     pub comm_config: f64,
     /// Compute configuration memory.
@@ -91,6 +100,7 @@ impl AreaBreakdown {
     pub fn total(&self) -> f64 {
         self.local_routers
             + self.global_routers
+            + self.noc_wiring
             + self.comm_config
             + self.compute_config
             + self.compute
@@ -142,6 +152,11 @@ pub struct CostModel {
     pub clock_gated_fraction: f64,
     /// Miscellaneous power per tile (clock tree, registers).
     pub misc_tile_power: f64,
+    /// Power per tile-unit of NoC wire length *beyond* the mesh baseline
+    /// (registered repeaters on torus wraparound and express links). The
+    /// mesh links themselves are already folded into the router constants
+    /// the model was calibrated with, so mesh fabrics are charged nothing.
+    pub noc_wire_power_per_unit: f64,
     // ---- area, µm² ----
     /// Area of one 16-bit ALU.
     pub alu_area: f64,
@@ -161,6 +176,9 @@ pub struct CostModel {
     pub config_bit_area: f64,
     /// Miscellaneous area per tile.
     pub misc_tile_area: f64,
+    /// Area per tile-unit of NoC wire length beyond the mesh baseline (wire
+    /// track plus repeater; see [`CostModel::noc_wire_power_per_unit`]).
+    pub noc_wire_area_per_unit: f64,
     /// Scratch-pad area per KiB.
     pub spm_area_per_kib: f64,
     /// Factor applied to compute datapaths of ML-pruned variants.
@@ -183,6 +201,7 @@ impl Default for CostModel {
             compute_config_bit_power: 0.17,
             clock_gated_fraction: 0.12,
             misc_tile_power: 4.7,
+            noc_wire_power_per_unit: 0.8,
             alu_area: 225.0,
             alsu_area: 300.0,
             pe_crossbar_area: 610.0,
@@ -192,11 +211,25 @@ impl Default for CostModel {
             config_tile_area: 1_150.0,
             config_bit_area: 0.95,
             misc_tile_area: 410.0,
+            noc_wire_area_per_unit: 85.0,
             spm_area_per_kib: 1_875.0,
             ml_compute_scale: 0.78,
             hardwired_router_scale: 0.35,
         }
     }
+}
+
+/// Tile-units of NoC wire length in excess of the mesh baseline: the sum
+/// over inter-tile links of `manhattan_distance − 1`. Mesh links connect
+/// grid neighbours (distance 1) and contribute nothing; torus wraparound
+/// links span `cols − 1` (or `rows − 1`) tiles and express links span their
+/// stride, so richer topologies are charged the wire they actually add.
+/// Intra-tile links (distance 0) contribute nothing.
+fn extra_wire_units(arch: &Architecture) -> f64 {
+    arch.links()
+        .iter()
+        .map(|l| f64::from(arch.resource_distance(l.from, l.to).saturating_sub(1)))
+        .sum()
 }
 
 impl CostModel {
@@ -262,6 +295,7 @@ impl CostModel {
             * (self.config_tile_power * 0.8
                 + f64::from(budget.compute_bits()) * self.compute_config_bit_power);
         p.others = tiles * self.misc_tile_power;
+        p.noc_wiring = extra_wire_units(arch) * self.noc_wire_power_per_unit;
         p
     }
 
@@ -316,6 +350,7 @@ impl CostModel {
             * (self.config_tile_area
                 + f64::from(budget.compute_bits()) * entries * self.config_bit_area);
         a.others = tiles * self.misc_tile_area;
+        a.noc_wiring = extra_wire_units(arch) * self.noc_wire_area_per_unit;
         a
     }
 
@@ -446,6 +481,41 @@ mod tests {
         let ratio = m.fabric_area(&large).total() / m.fabric_area(&small).total();
         assert_near(ratio, 2.25, 0.2, "3x3/2x2 area ratio");
         assert!(m.fabric_power(&large).total() > m.fabric_power(&small).total());
+    }
+
+    #[test]
+    fn mesh_fabrics_pay_no_topology_wiring_and_torus_does() {
+        use plaid_arch::{ArchClass, BwClass, CommSpec, DesignPoint, Topology};
+        let m = model();
+        let point = |comm| DesignPoint {
+            class: ArchClass::SpatioTemporal,
+            rows: 4,
+            cols: 4,
+            config_entries: 16,
+            comm,
+        };
+        let mesh = point(CommSpec::ALIGNED).build();
+        let torus = point(CommSpec::uniform(Topology::Torus, BwClass::Base)).build();
+        let express = point(CommSpec::uniform(
+            Topology::Express { stride: 2 },
+            BwClass::Base,
+        ))
+        .build();
+        assert_eq!(m.fabric_power(&mesh).noc_wiring, 0.0);
+        assert_eq!(m.fabric_area(&mesh).noc_wiring, 0.0);
+        // 16 wraparound directed links, each spanning 3 tiles -> 2 extra
+        // units apiece.
+        let torus_power = m.fabric_power(&torus);
+        assert_eq!(torus_power.noc_wiring, 32.0 * m.noc_wire_power_per_unit);
+        assert!(torus_power.total() > m.fabric_power(&mesh).total());
+        assert!(m.fabric_area(&torus).total() > m.fabric_area(&mesh).total());
+        // Express stride 2: 32 directed links, 1 extra unit apiece.
+        assert_eq!(
+            m.fabric_area(&express).noc_wiring,
+            32.0 * m.noc_wire_area_per_unit
+        );
+        // The wiring premium stays a small fraction of the fabric.
+        assert!(torus_power.share(torus_power.noc_wiring) < 0.05);
     }
 
     #[test]

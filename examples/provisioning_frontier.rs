@@ -1,28 +1,41 @@
 //! Reproduces the paper's aligned-versus-misaligned provisioning comparison
-//! as a Pareto-frontier table.
+//! as a Pareto-frontier table, extended with the structured communication
+//! axis.
 //!
 //! The experiment fixes the *compute* provisioning at 16 functional units —
 //! a 4×4 spatio-temporal CGRA, a 4×4 spatial CGRA and a 2×2 Plaid PCU array
 //! all provision exactly 16 FUs — and sweeps the *communication* provisioning
-//! (lean / aligned / rich) for each class. If the paper's thesis holds, the
-//! frontier should be populated by aligned points: under-provisioned networks
-//! fail to route or stretch the initiation interval, while over-provisioned
-//! networks pay area and energy for selects they never use.
+//! for each class: the legacy lean / aligned / rich mesh presets plus two
+//! structured variants at aligned bandwidth (torus wraparound and stride-2
+//! express links). If the paper's thesis holds, the frontier should be
+//! populated by aligned points: under-provisioned networks fail to route or
+//! stretch the initiation interval, over-provisioned networks pay area and
+//! energy for selects they never use — and topology-enriched networks only
+//! survive where their extra wiring buys cycles.
 //!
 //! Run with `cargo run --release --example provisioning_frontier`.
 
-use plaid_arch::{ArchClass, CommLevel, SpaceSpec};
+use plaid_arch::{ArchClass, BwClass, CommSpec, SpaceSpec, Topology};
 use plaid_explore::{run_sweep, FrontierReport, ResultCache, SweepPlan};
 use plaid_workloads::find_workload;
 
 fn main() {
+    // The communication axis: the three legacy presets plus structured
+    // topology variants at the as-published bandwidth.
+    let mut comm_specs = CommSpec::presets();
+    comm_specs.push(CommSpec::uniform(Topology::Torus, BwClass::Base));
+    comm_specs.push(CommSpec::uniform(
+        Topology::Express { stride: 2 },
+        BwClass::Base,
+    ));
+
     // The three classes at matched 16-FU compute provisioning: baselines are
     // 4x4 PE arrays; Plaid packs 4 FUs per PCU, so 2x2.
     let spec = |class: ArchClass, dims: (u32, u32)| SpaceSpec {
         classes: vec![class],
         dims: vec![dims],
         config_entries: vec![16],
-        comm_levels: CommLevel::ALL.to_vec(),
+        comm_specs: comm_specs.clone(),
     };
     let workloads: Vec<_> = ["atax_u2", "gemm_u2", "dwconv", "fc", "jacobi_u2"]
         .iter()
@@ -57,7 +70,7 @@ fn main() {
     let frontier = FrontierReport::from_records(&outcome.records);
     print!("{}", frontier.render());
 
-    // Verdict: how often does each communication level reach the frontier?
+    // Verdict: how often does each communication spec reach the frontier?
     let mut survivors = std::collections::BTreeMap::new();
     let mut feasible = std::collections::BTreeMap::new();
     for record in outcome.records.iter().filter(|r| r.ok) {
@@ -72,7 +85,7 @@ fn main() {
                 .or_insert(0u32) += 1;
         }
     }
-    println!("frontier appearances by (class, communication level):");
+    println!("frontier appearances by (class, communication spec):");
     for (&(class, comm), &n) in &survivors {
         let total = feasible.get(&(class, comm)).copied().unwrap_or(0);
         println!(
@@ -81,6 +94,12 @@ fn main() {
             comm.label()
         );
     }
+    let non_mesh = survivors
+        .iter()
+        .filter(|((_, comm), _)| comm.topology != Topology::Mesh)
+        .map(|(_, n)| n)
+        .sum::<u32>();
+    println!("\nnon-mesh topology points on the frontier: {non_mesh}");
 
     // The paper's alignment claim, restated over this sweep: at matched
     // compute provisioning, the spatio-temporal baseline spends roughly half
@@ -96,7 +115,7 @@ fn main() {
             .sum::<u32>()
     };
     println!(
-        "\nclass totals: spatio-temporal {} / spatial {} / plaid {} of {} frontier points",
+        "class totals: spatio-temporal {} / spatial {} / plaid {} of {} frontier points",
         class_hits(ArchClass::SpatioTemporal),
         class_hits(ArchClass::Spatial),
         class_hits(ArchClass::Plaid),
@@ -106,6 +125,43 @@ fn main() {
         println!(
             "=> aligned provisioning wins: the communication-heavy spatio-temporal \
              points are dominated at matched compute"
+        );
+    }
+
+    // Part two: where topology earns its wiring. At matched compute the
+    // as-published mesh is already sufficient, so torus/express points pay
+    // area and energy for links the mapper does not need. Starve the
+    // bandwidth instead (half-capacity switches, half select bits) on the
+    // larger 3x3 Plaid array and the trade flips: the wraparound links
+    // recover the initiation interval the lean mesh loses, so the torus
+    // lands on the frontier next to the lean mesh.
+    println!("\n--- topology at starved bandwidth (plaid 3x3, half-bandwidth) ---\n");
+    let starved = SpaceSpec {
+        classes: vec![ArchClass::Plaid],
+        dims: vec![(3, 3)],
+        config_entries: vec![16],
+        comm_specs: vec![
+            CommSpec::LEAN,
+            CommSpec::ALIGNED,
+            CommSpec::uniform(Topology::Torus, BwClass::Half),
+            CommSpec::uniform(Topology::Express { stride: 2 }, BwClass::Half),
+        ],
+    };
+    let plan = SweepPlan::cross(&workloads, &starved);
+    let outcome = run_sweep(&plan, &cache);
+    let frontier = FrontierReport::from_records(&outcome.records);
+    print!("{}", frontier.render());
+    let non_mesh = frontier
+        .frontiers
+        .iter()
+        .flat_map(|f| f.points.iter())
+        .filter(|p| p.design.comm.topology != Topology::Mesh)
+        .count();
+    println!("non-mesh topology points on the starved-bandwidth frontier: {non_mesh}");
+    if non_mesh > 0 {
+        println!(
+            "=> provisioning communication is two-dimensional: where bandwidth is \
+             tight, topology (not just capacity) buys back cycles"
         );
     }
 }

@@ -2,10 +2,10 @@
 //! Pareto-frontier invariants, cache behaviour and JSON round-tripping.
 
 use plaid::pipeline::{compile_workload, ArchChoice, CompileSummary, MapperChoice};
-use plaid_arch::{ArchClass, CommLevel, DesignPoint, SpaceSpec};
+use plaid_arch::{ArchClass, BwClass, CommSpec, DesignPoint, SpaceSpec, Topology};
 use plaid_explore::{
-    run_sweep, run_sweep_with, EvalRecord, FrontierReport, Objectives, ResultCache, SeedPolicy,
-    SweepOutcome, SweepPlan,
+    cache_key, run_sweep, run_sweep_with, EvalRecord, FrontierReport, Objectives, ResultCache,
+    SeedPolicy, SweepOutcome, SweepPlan,
 };
 use plaid_workloads::find_workload;
 
@@ -14,7 +14,7 @@ fn small_plan() -> SweepPlan {
         classes: vec![ArchClass::SpatioTemporal, ArchClass::Plaid],
         dims: vec![(2, 2)],
         config_entries: vec![8, 16],
-        comm_levels: CommLevel::ALL.to_vec(),
+        comm_specs: CommSpec::presets(),
     };
     let workloads = vec![
         find_workload("dwconv").unwrap(),
@@ -145,7 +145,7 @@ fn sweep_outcome_round_trips_through_json() {
         classes: vec![ArchClass::Plaid],
         dims: vec![(2, 2)],
         config_entries: vec![16],
-        comm_levels: vec![CommLevel::Aligned, CommLevel::Lean],
+        comm_specs: vec![CommSpec::ALIGNED, CommSpec::LEAN],
     };
     let plan = SweepPlan::cross(&[find_workload("dwconv").unwrap()], &spec);
     let cache = ResultCache::new();
@@ -212,6 +212,97 @@ fn objectives_dominance_matches_frontier_membership() {
     ];
     let keep = plaid_explore::pareto_indices(&objs);
     assert_eq!(keep, vec![0, 2, 3]);
+}
+
+#[test]
+fn topology_sweep_covers_non_mesh_points() {
+    // The structured communication axis end-to-end: a sweep over
+    // {mesh, torus, express} x {half, base} must enumerate distinct points,
+    // evaluate them, and surface non-mesh points in the frontier. On the
+    // 3x3 Plaid fabric the atax_u2 workload genuinely benefits from the
+    // wraparound links: the half-bandwidth torus achieves a lower II (288
+    // cycles vs. 320 for every mesh variant), so it is non-dominated despite
+    // its wiring premium — the BandMap-style trade the structured axis
+    // exists to expose.
+    let spec = SpaceSpec {
+        classes: vec![ArchClass::Plaid],
+        dims: vec![(3, 3)],
+        config_entries: vec![16],
+        comm_specs: CommSpec::presets(),
+    }
+    .with_comm_grid(
+        &[
+            Topology::Mesh,
+            Topology::Torus,
+            Topology::Express { stride: 2 },
+        ],
+        &[BwClass::Half, BwClass::Base],
+    );
+    assert_eq!(spec.cardinality(), 6);
+    let designs = spec.enumerate();
+    // Labels and cache keys are unique across the structured axis; the
+    // uniform mesh specs collapse onto the legacy presets.
+    let workload = find_workload("atax_u2").unwrap();
+    let plan = SweepPlan::cross(std::slice::from_ref(&workload), &spec);
+    let mut labels: Vec<String> = designs.iter().map(|d| d.label()).collect();
+    assert!(labels.iter().any(|l| l.ends_with("/lean")));
+    assert!(labels.iter().any(|l| l.ends_with("/aligned")));
+    labels.sort();
+    labels.dedup();
+    assert_eq!(labels.len(), designs.len());
+    let mut keys: Vec<String> = plan.points.iter().map(cache_key).collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), plan.len(), "comm specs alias cache keys");
+    // Non-mesh fabrics are structurally richer than their mesh siblings.
+    let link_count = |comm: CommSpec| {
+        DesignPoint {
+            class: ArchClass::Plaid,
+            rows: 3,
+            cols: 3,
+            config_entries: 16,
+            comm,
+        }
+        .build()
+        .links()
+        .len()
+    };
+    let mesh_links = link_count(CommSpec::ALIGNED);
+    assert!(link_count(CommSpec::uniform(Topology::Torus, BwClass::Base)) > mesh_links);
+    assert!(
+        link_count(CommSpec::uniform(
+            Topology::Express { stride: 2 },
+            BwClass::Base
+        )) > mesh_links
+    );
+
+    let outcome = run_sweep(&plan, &ResultCache::new());
+    assert_eq!(outcome.stats.points, 6);
+    let succeeded: Vec<&EvalRecord> = outcome.records.iter().filter(|r| r.ok).collect();
+    assert!(
+        succeeded
+            .iter()
+            .any(|r| r.design.comm.topology == Topology::Torus),
+        "torus point must map"
+    );
+    let report = FrontierReport::from_records(&outcome.records);
+    assert!(
+        report
+            .frontiers
+            .iter()
+            .flat_map(|f| f.points.iter())
+            .any(|p| p.design.comm.topology != Topology::Mesh),
+        "frontier must surface a non-mesh point: {:?}",
+        report
+            .frontiers
+            .iter()
+            .flat_map(|f| f.points.iter().map(|p| p.arch.clone()))
+            .collect::<Vec<_>>()
+    );
+    // Structured design points survive the record JSON round trip.
+    let json = serde_json::to_string(&outcome).unwrap();
+    let back: SweepOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, outcome);
 }
 
 #[test]

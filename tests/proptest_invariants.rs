@@ -138,6 +138,117 @@ proptest! {
     }
 }
 
+/// Structured-communication-axis invariants: rebuilding a design point from
+/// the same [`plaid_arch::CommSpec`] is deterministic (identical fabric
+/// signature), and capacity / select-bit provisioning is monotone in the
+/// bandwidth class.
+mod comm_spec_properties {
+    use super::*;
+    use plaid_arch::{ArchClass, BwClass, CommSpec, DesignPoint, LinkBw, SelectPolicy, Topology};
+    use plaid_mapper::{fabric_signature, fabric_signature_nocap};
+
+    fn arbitrary_comm_spec() -> impl Strategy<Value = CommSpec> {
+        (0u32..4, 0usize..4, 0usize..4, any::<bool>()).prop_map(|(topo, local, global, fixed)| {
+            CommSpec {
+                topology: match topo {
+                    0 => Topology::Mesh,
+                    1 => Topology::Torus,
+                    2 => Topology::Express { stride: 2 },
+                    _ => Topology::Express { stride: 3 },
+                },
+                link_bw: LinkBw {
+                    local: BwClass::ALL[local],
+                    global: BwClass::ALL[global],
+                },
+                select_policy: if fixed {
+                    SelectPolicy::Fixed
+                } else {
+                    SelectPolicy::Proportional
+                },
+            }
+        })
+    }
+
+    fn point(class: ArchClass, comm: CommSpec) -> DesignPoint {
+        // 3x4 so every generated topology (express strides up to 3) fits
+        // the array and the points stay valid.
+        DesignPoint {
+            class,
+            rows: 3,
+            cols: 4,
+            config_entries: 16,
+            comm,
+        }
+    }
+
+    fn total_switch_capacity(p: &DesignPoint) -> u64 {
+        p.build()
+            .resources()
+            .iter()
+            .filter(|r| !r.kind.is_func_unit())
+            .map(|r| u64::from(r.kind.capacity()))
+            .sum()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Same spec => bit-identical fabric: two independent rebuilds hash
+        /// to the same full and no-capacity signatures, and the structured
+        /// spec survives a JSON round trip of its design point.
+        #[test]
+        fn rebuild_round_trips_for_random_specs(comm in arbitrary_comm_spec()) {
+            for class in [ArchClass::SpatioTemporal, ArchClass::Plaid] {
+                let p = point(class, comm);
+                let a = p.build();
+                let b = p.build();
+                prop_assert_eq!(fabric_signature(&a), fabric_signature(&b));
+                prop_assert_eq!(fabric_signature_nocap(&a), fabric_signature_nocap(&b));
+                prop_assert_eq!(a.name(), b.name());
+                let json = serde_json::to_string(&p).unwrap();
+                let back: DesignPoint = serde_json::from_str(&json).unwrap();
+                prop_assert_eq!(back, p);
+                // Bandwidth never changes the structure, only capacities:
+                // the no-capacity signature matches the family's.
+                let family = DesignPoint { comm: comm.structural_family(), ..p };
+                prop_assert_eq!(
+                    fabric_signature_nocap(&family.build()),
+                    fabric_signature_nocap(&a)
+                );
+            }
+        }
+
+        /// Raising a uniform bandwidth class never lowers any switch
+        /// capacity sum or the select-bit budget (monotone provisioning).
+        #[test]
+        fn capacity_and_bits_are_monotone_in_bw_class(
+            topo in 0u32..3,
+            lo in 0usize..4,
+            hi in 0usize..4,
+        ) {
+            let topology = match topo {
+                0 => Topology::Mesh,
+                1 => Topology::Torus,
+                _ => Topology::Express { stride: 2 },
+            };
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            let lean = CommSpec::uniform(topology, BwClass::ALL[lo]);
+            let rich = CommSpec::uniform(topology, BwClass::ALL[hi]);
+            for class in [ArchClass::SpatioTemporal, ArchClass::Plaid] {
+                let lean_point = point(class, lean);
+                let rich_point = point(class, rich);
+                prop_assert!(
+                    total_switch_capacity(&lean_point) <= total_switch_capacity(&rich_point)
+                );
+                prop_assert!(
+                    lean_point.params().config.communication_bits
+                        <= rich_point.params().config.communication_bits
+                );
+            }
+        }
+    }
+}
+
 /// Mapping invariants on random DFGs: any mapping the SA mapper produces
 /// passes the independent validator (FU exclusivity, timing, capacities).
 mod mapping_properties {
