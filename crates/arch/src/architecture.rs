@@ -302,7 +302,8 @@ pub fn rebuild_provisioned(
     .build()
 }
 
-/// Clones an architecture under a structured [`CommSpec`]: every switch
+/// Clones an architecture under a structured [`crate::comm::CommSpec`]:
+/// every switch
 /// capacity is scaled by the bandwidth class of its link-direction group
 /// (local intra-tile switches vs. the mesh-facing global router), and the
 /// spec's [`crate::comm::Topology`] contributes its extra inter-tile links

@@ -20,7 +20,8 @@
 //!   torus wraparound, express links), a bandwidth class per link-direction
 //!   group (scaling switch capacities), and the select-bit policy that
 //!   drives the communication share of the [`crate::ConfigBudget`]. The
-//!   legacy scalar [`CommLevel`] presets lower onto this axis bit-exactly
+//!   legacy scalar [`crate::comm::CommLevel`] presets lower onto this axis
+//!   bit-exactly
 //!   (see [`crate::comm`]).
 
 use serde::{Deserialize, Serialize};
@@ -183,10 +184,20 @@ impl SpaceSpec {
         self.classes.len() * self.dims.len() * self.config_entries.len() * self.comm_specs.len()
     }
 
-    /// Enumerates the grid in a deterministic order (classes, then
-    /// dimensions, then depth, then communication spec), skipping invalid
-    /// points (zero-sized arrays, zero-depth configuration memories,
-    /// degenerate express strides — see [`DesignPoint::is_valid`]).
+    /// Enumerates the grid in a deterministic order, skipping invalid points
+    /// (zero-sized arrays, zero-depth configuration memories, degenerate
+    /// express strides — see [`DesignPoint::is_valid`]).
+    ///
+    /// **Stable-ordering contract.** The enumeration order — classes, then
+    /// dimensions, then depth, then communication spec, each in the order
+    /// listed in the spec — is part of this method's stable API: sweep
+    /// records come back in plan order, pinned frontier fixtures assume it,
+    /// and sharded sweeps rely on every host enumerating the same grid
+    /// identically so that per-shard sub-plans line up across machines.
+    /// (Shard *membership* itself is stronger still — it is keyed by
+    /// content hashes, so it survives even a reordering — but the merged
+    /// record order is plan order, i.e. this order.) Changing it is a
+    /// breaking change that invalidates pinned sweep outputs.
     pub fn enumerate(&self) -> Vec<DesignPoint> {
         let mut points = Vec::with_capacity(self.cardinality());
         for &class in &self.classes {
@@ -229,6 +240,52 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), points.len());
+    }
+
+    #[test]
+    fn enumeration_order_is_pinned() {
+        // The stable-ordering contract of `SpaceSpec::enumerate`: axes nest
+        // classes > dims > depth > comm, each in spec-listed order. Sharded
+        // sweeps and pinned frontier fixtures both assume this exact
+        // sequence, so a change here must be deliberate and coordinated.
+        let spec = SpaceSpec {
+            classes: vec![ArchClass::Plaid, ArchClass::Spatial],
+            dims: vec![(3, 3), (2, 2)],
+            config_entries: vec![16, 8],
+            comm_specs: vec![CommSpec::RICH, CommSpec::ALIGNED],
+        };
+        let labels: Vec<String> = spec.enumerate().iter().map(DesignPoint::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "plaid-3x3/d16/rich",
+                "plaid-3x3/d16/aligned",
+                "plaid-3x3/d8/rich",
+                "plaid-3x3/d8/aligned",
+                "plaid-2x2/d16/rich",
+                "plaid-2x2/d16/aligned",
+                "plaid-2x2/d8/rich",
+                "plaid-2x2/d8/aligned",
+                "spatial-3x3/d16/rich",
+                "spatial-3x3/d16/aligned",
+                "spatial-3x3/d8/rich",
+                "spatial-3x3/d8/aligned",
+                "spatial-2x2/d16/rich",
+                "spatial-2x2/d16/aligned",
+                "spatial-2x2/d8/rich",
+                "spatial-2x2/d8/aligned",
+            ]
+        );
+        // The default grid's endpoints are pinned too: the 216-point sweep
+        // artifacts (frontier JSON, shard caches) are diffed byte-for-byte
+        // in CI, so its first and last points are load-bearing.
+        let default_points = SpaceSpec::default_grid().enumerate();
+        assert_eq!(default_points.len(), 54);
+        assert_eq!(
+            default_points.first().unwrap().label(),
+            "spatio-temporal-2x2/d8/lean"
+        );
+        assert_eq!(default_points.last().unwrap().label(), "plaid-4x4/d16/rich");
     }
 
     #[test]

@@ -2,170 +2,36 @@
 //! (journalled rip-up / re-place / re-route transactions) and router
 //! searches per second, on a 4×4 and an 8×8 fabric.
 //!
-//! The headline pass measures both rates directly and writes them to
-//! `BENCH_mapper.json` at the workspace root, so the kernel's performance
-//! trajectory is machine-readable across PRs; the Criterion loops then track
-//! the same operations interactively.
+//! The measured operations live in [`plaid_bench::kernel`], shared with the
+//! `plaid-bench` regression-gate binary so the gate compares exactly what
+//! this bench tracks. The headline pass prints both rates directly; the
+//! Criterion loops then track the same operations interactively.
+//!
+//! The committed `BENCH_mapper.json` at the workspace root is the CI
+//! gate's *baseline*, so this bench deliberately does **not** rewrite it
+//! as a side effect (a dirtied baseline committed by accident would re-pin
+//! the gate to whatever machine last ran `cargo bench`). Re-pin explicitly
+//! with `plaid-bench --update`.
 
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use plaid_arch::{spatio_temporal, Architecture};
-use plaid_dfg::{Dfg, NodeId};
-use plaid_mapper::placement::{greedy_place, MapState};
-use plaid_mapper::route::{find_route_in, HardCapacityCost, RouteRequest, RouterScratch};
-use plaid_workloads::find_workload;
-
-const II: u32 = 4;
-
-fn bench_dfg() -> Dfg {
-    find_workload("dwconv")
-        .expect("dwconv is registered")
-        .lower()
-        .expect("dwconv lowers")
-}
-
-/// A placed state to perturb; greedy placement may be partial on the small
-/// fabric, which only makes the move mix more realistic.
-fn placed_state<'a>(dfg: &'a Dfg, arch: &'a Architecture) -> MapState<'a> {
-    let mut state = MapState::new(dfg, arch, II);
-    let _ = greedy_place(&mut state, &HardCapacityCost);
-    state
-}
-
-/// One SA-style move transaction: rip up one node, re-place it on the first
-/// admitting candidate, re-route its incident edges, then roll back or
-/// commit. Mirrors the `SaMapper` inner loop on the public kernel API.
-fn one_move(state: &mut MapState<'_>, step: &mut u64) {
-    let policy = HardCapacityCost;
-    *step = step.wrapping_mul(6364136223846793005).wrapping_add(1);
-    let node = NodeId((*step >> 33) as u32 % state.dfg.node_count() as u32);
-    state.begin_txn();
-    state.unplace(node);
-    let candidates = state.candidate_fus(node);
-    let base = state.earliest_cycle(node);
-    let mut placed = false;
-    for (i, &fu) in candidates.iter().enumerate().take(6) {
-        let cycle = base + (*step >> 17) as u32 % II + i as u32 % II;
-        if state.can_place(node, fu, cycle) {
-            state.place(node, fu, cycle);
-            placed = true;
-            break;
-        }
-    }
-    if placed {
-        let adj = Arc::clone(state.adjacency());
-        for &e in adj.incident(node) {
-            let _ = state.route_edge(e, &policy);
-        }
-    }
-    if step.is_multiple_of(2) && placed {
-        state.commit_txn();
-    } else {
-        state.rollback_txn();
-    }
-}
-
-/// One router search through the shared scratch, cycling over FU pairs and
-/// budgets; returns whether a route was found (both outcomes are the hot
-/// path in real mapping).
-fn one_route(
-    scratch: &mut RouterScratch,
-    arch: &Architecture,
-    state: &MapState<'_>,
-    fus: &[plaid_arch::ResourceId],
-    step: &mut u64,
-) -> bool {
-    *step = step.wrapping_mul(6364136223846793005).wrapping_add(1);
-    let src = fus[(*step >> 33) as usize % fus.len()];
-    let dst = fus[(*step >> 21) as usize % fus.len()];
-    let src_cycle = (*step >> 11) as u32 % II;
-    let budget = 1 + (*step >> 42) as u32 % (2 * II);
-    let request = RouteRequest {
-        src_fu: src,
-        src_cycle,
-        dst_fu: dst,
-        arrival_cycle: src_cycle + budget,
-        value: NodeId((*step >> 7) as u32 % state.dfg.node_count() as u32),
-    };
-    find_route_in(scratch, arch, &state.state, &request, &HardCapacityCost).is_some()
-}
-
-fn measure_rate(mut op: impl FnMut(), budget: Duration) -> f64 {
-    // Warm up allocations and caches.
-    for _ in 0..64 {
-        op();
-    }
-    let start = Instant::now();
-    let mut iterations = 0u64;
-    while start.elapsed() < budget {
-        for _ in 0..256 {
-            op();
-        }
-        iterations += 256;
-    }
-    iterations as f64 / start.elapsed().as_secs_f64()
-}
+use plaid_arch::spatio_temporal;
+use plaid_bench::kernel::{bench_dfg, measure_kernel, one_move, one_route, placed_state};
+use plaid_mapper::route::RouterScratch;
 
 fn headline() {
-    let dfg = bench_dfg();
-    let mut report = Vec::new();
-    for (label, arch) in [
-        ("st4x4", spatio_temporal::build(4, 4)),
-        ("st8x8", spatio_temporal::build(8, 8)),
-    ] {
-        let mut state = placed_state(&dfg, &arch);
-        let mut step = 0x5EED_u64;
-        let moves_per_sec = measure_rate(
-            || one_move(&mut state, &mut step),
-            Duration::from_millis(400),
-        );
-
-        let route_state = placed_state(&dfg, &arch);
-        let fus: Vec<_> = arch.functional_units().map(|r| r.id).collect();
-        let mut scratch = RouterScratch::new();
-        let mut step = 0x00DD_5EED_u64;
-        let routes_per_sec = measure_rate(
-            || {
-                black_box(one_route(
-                    &mut scratch,
-                    &arch,
-                    &route_state,
-                    &fus,
-                    &mut step,
-                ));
-            },
-            Duration::from_millis(400),
-        );
-
+    let report = measure_kernel(Duration::from_millis(400));
+    for (label, rates) in &report.fabrics {
         println!(
-            "mapper_kernel headline [{label}]: {moves_per_sec:.0} moves/s, \
-             {routes_per_sec:.0} routes/s"
+            "mapper_kernel headline [{label}]: {:.0} moves/s, {:.0} routes/s",
+            rates.moves_per_sec, rates.routes_per_sec
         );
-        report.push((label, moves_per_sec, routes_per_sec));
     }
-
-    // Machine-readable baseline at the workspace root.
-    let fabrics: Vec<String> = report
-        .iter()
-        .map(|(label, m, r)| {
-            format!(
-                "    \"{label}\": {{ \"moves_per_sec\": {:.0}, \"routes_per_sec\": {:.0} }}",
-                m, r
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"mapper_kernel\",\n  \"workload\": \"dwconv\",\n  \"ii\": {II},\n  \
-         \"fabrics\": {{\n{}\n  }}\n}}\n",
-        fabrics.join(",\n")
+    println!(
+        "(baseline BENCH_mapper.json is gated in CI and not auto-rewritten; \
+         re-pin with `plaid-bench --update`)"
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mapper.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
 }
 
 fn bench(c: &mut Criterion) {

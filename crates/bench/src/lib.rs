@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernel;
+
 use plaid::experiments::ExperimentScope;
 
 /// Scope used by the benchmark harness.

@@ -12,7 +12,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use plaid_arch::{ArchClass, BwClass, CommSpec, SpaceSpec, Topology};
-use plaid_explore::{run_sweep_with, FrontierReport, ResultCache, SeedPolicy, SweepPlan};
+use plaid_explore::{
+    run_sweep_with, shard_plan, FrontierReport, ResultCache, SeedPolicy, ShardSpec, SweepPlan,
+};
 use plaid_workloads::{table2_workloads, Workload};
 
 struct Options {
@@ -20,6 +22,7 @@ struct Options {
     workloads: Vec<Workload>,
     passes: u32,
     seed_policy: SeedPolicy,
+    shard: Option<ShardSpec>,
     cache_path: Option<PathBuf>,
     out_path: Option<PathBuf>,
     frontier_path: Option<PathBuf>,
@@ -31,6 +34,16 @@ plaid-dse — parallel design-space exploration over CGRA provisioning points
 
 USAGE:
     plaid-dse [OPTIONS]
+    plaid-dse merge <OUT_CACHE> <SHARD_CACHE>... [--frontier FILE] [--quiet]
+                    [--allow-overlap]
+
+SUBCOMMANDS:
+    merge    Union shard caches into <OUT_CACHE> and emit the merged Pareto
+             frontier JSON — byte-identical to a single-process sweep of the
+             same points. Shard caches are disjoint by construction, so
+             inputs re-supplying an already-merged record identity are
+             rejected (duplicated shard run / mismatched sweep
+             configuration) unless --allow-overlap is given
 
 OPTIONS:
     --grid <default|smoke|full>   Architecture grid to enumerate [default: default]
@@ -55,6 +68,11 @@ OPTIONS:
                                   to a cold run]
     --no-seed                     Disable warm-start seeding (same as
                                   --seed off); every point maps from scratch
+    --shard <I/N>                 Evaluate only shard I of an N-way
+                                  content-hash partition of the plan
+                                  (0-based). Disjoint and covering across
+                                  shards, stable under point reordering;
+                                  combine shard caches with `plaid-dse merge`
     --cache <FILE>                Load/save the content-addressed result cache
     --out <FILE>                  Write all sweep records as JSON
     --frontier <FILE>             Write the Pareto frontier as JSON
@@ -142,7 +160,7 @@ fn parse_workloads(spec: &str) -> Result<Vec<Workload>, String> {
         .collect()
 }
 
-fn parse_args() -> Result<Option<Options>, String> {
+fn parse_args(args: Vec<String>) -> Result<Option<Options>, String> {
     let mut grid = SpaceSpec::default_grid();
     let mut topologies: Option<Vec<Topology>> = None;
     let mut bw_classes: Option<Vec<BwClass>> = None;
@@ -150,13 +168,14 @@ fn parse_args() -> Result<Option<Options>, String> {
     let mut workloads = parse_workloads("rep8").expect("default workload spec is valid");
     let mut passes = 2u32;
     let mut seed_policy = SeedPolicy::Exact;
+    let mut shard = None;
     let mut cache_path = None;
     let mut out_path = None;
     let mut frontier_path = Some(PathBuf::from("dse_frontier.json"));
     let mut quiet = false;
     let mut list = false;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -178,6 +197,7 @@ fn parse_args() -> Result<Option<Options>, String> {
             }
             "--seed" => seed_policy = SeedPolicy::parse(&value("--seed")?)?,
             "--no-seed" => seed_policy = SeedPolicy::Off,
+            "--shard" => shard = Some(ShardSpec::parse(&value("--shard")?)?),
             "--cache" => cache_path = Some(PathBuf::from(value("--cache")?)),
             "--out" => out_path = Some(PathBuf::from(value("--out")?)),
             "--frontier" => frontier_path = Some(PathBuf::from(value("--frontier")?)),
@@ -210,6 +230,7 @@ fn parse_args() -> Result<Option<Options>, String> {
         workloads,
         passes,
         seed_policy,
+        shard,
         cache_path,
         out_path,
         frontier_path,
@@ -252,15 +273,33 @@ fn run(options: &Options) -> Result<(), String> {
         }
     }
 
-    let plan = SweepPlan::cross(&options.workloads, &options.grid);
-    eprintln!(
-        "sweeping {} points ({} workloads x {} architecture points) on {} threads, seeding {}",
-        plan.len(),
-        options.workloads.len(),
-        options.grid.enumerate().len(),
-        rayon::current_num_threads(),
-        options.seed_policy.label(),
-    );
+    let full_plan = SweepPlan::cross(&options.workloads, &options.grid);
+    let full_len = full_plan.len();
+    let plan = match options.shard {
+        Some(shard) => shard_plan(&full_plan, shard),
+        None => full_plan,
+    };
+    match options.shard {
+        Some(shard) => eprintln!(
+            "sweeping shard {} — {} of {} plan points ({} workloads x {} architecture points, \
+             content-hash partition) on {} threads, seeding {}",
+            shard.label(),
+            plan.len(),
+            full_len,
+            options.workloads.len(),
+            options.grid.enumerate().len(),
+            rayon::current_num_threads(),
+            options.seed_policy.label(),
+        ),
+        None => eprintln!(
+            "sweeping {} points ({} workloads x {} architecture points) on {} threads, seeding {}",
+            plan.len(),
+            options.workloads.len(),
+            options.grid.enumerate().len(),
+            rayon::current_num_threads(),
+            options.seed_policy.label(),
+        ),
+    }
 
     let mut last_outcome = None;
     for pass in 1..=options.passes {
@@ -296,25 +335,131 @@ fn run(options: &Options) -> Result<(), String> {
     }
 
     let frontier = FrontierReport::from_records(&outcome.records);
-    if let Some(path) = &options.frontier_path {
-        let json = serde_json::to_string_pretty(&frontier)
+    emit_frontier(
+        &frontier,
+        options.frontier_path.as_deref(),
+        options.quiet,
+        "",
+    )
+}
+
+/// Writes the frontier JSON (when a path is given) and renders the table
+/// (unless quiet) — shared by the sweep and merge paths so their output
+/// stays in lockstep (the merge-verify CI job diffs the two files byte for
+/// byte).
+fn emit_frontier(
+    frontier: &FrontierReport,
+    path: Option<&std::path::Path>,
+    quiet: bool,
+    kind: &str,
+) -> Result<(), String> {
+    if let Some(path) = path {
+        let json = serde_json::to_string_pretty(frontier)
             .map_err(|e| format!("serialize frontier: {e}"))?;
         std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
         eprintln!(
-            "wrote Pareto frontier ({} points across {} workloads) to {}",
+            "wrote {kind}Pareto frontier ({} points across {} workloads) to {}",
             frontier.frontier_size(),
             frontier.frontiers.len(),
             path.display()
         );
     }
-    if !options.quiet {
+    if !quiet {
         print!("{}", frontier.render());
     }
     Ok(())
 }
 
+/// The `merge` subcommand: unions shard caches into one cache file and
+/// derives the merged Pareto frontier from its canonical record set —
+/// byte-identical to the frontier a single-process sweep of the same points
+/// writes, because frontier extraction is order-insensitive and the shard
+/// caches partition the plan.
+///
+/// Correct shard caches are *disjoint* (the partition is content-addressed),
+/// so an input contributing records whose identity is already present is a
+/// misconfiguration — the same `--shard` run twice, a file listed twice, or
+/// hosts that swept different grids — and is rejected by default: the
+/// last-input-wins resolution would otherwise silently produce a frontier
+/// over a point set no single plan describes. `--allow-overlap` opts into
+/// the general cache-union behaviour for deliberately overlapping caches.
+fn run_merge(args: Vec<String>) -> Result<(), String> {
+    let mut out_cache: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut frontier_path = Some(PathBuf::from("dse_frontier.json"));
+    let mut quiet = false;
+    let mut allow_overlap = false;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--frontier" => {
+                frontier_path = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --frontier")?,
+                ))
+            }
+            "--no-frontier-file" => frontier_path = None,
+            "--quiet" => quiet = true,
+            "--allow-overlap" => allow_overlap = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown merge option `{other}` (see --help)"))
+            }
+            path if out_cache.is_none() => out_cache = Some(PathBuf::from(path)),
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    let out_cache = out_cache.ok_or("merge: missing <OUT_CACHE> argument (see --help)")?;
+    if inputs.is_empty() {
+        return Err("merge: no shard caches to merge (see --help)".into());
+    }
+
+    let merged = ResultCache::new();
+    for path in &inputs {
+        let shard = ResultCache::load(path)
+            .map_err(|e| format!("cannot load shard cache {}: {e}", path.display()))?;
+        let loaded = shard.len();
+        let added = merged.union_merge(&shard);
+        let overlapping = loaded - added;
+        if overlapping > 0 && !allow_overlap {
+            return Err(format!(
+                "merge: {} contributes {overlapping} record(s) whose identity another input \
+                 already supplied — shard caches are disjoint by construction, so this usually \
+                 means the same shard ran twice, a file was listed twice, or the hosts swept \
+                 different configurations; pass --allow-overlap to union anyway (last input wins)",
+                path.display()
+            ));
+        }
+        eprintln!("merged {}: {loaded} records, {added} new", path.display());
+    }
+    merged
+        .save(&out_cache)
+        .map_err(|e| format!("cannot save merged cache {}: {e}", out_cache.display()))?;
+    eprintln!(
+        "saved {} merged records to {}",
+        merged.len(),
+        out_cache.display()
+    );
+
+    let records = merged.canonical_records();
+    let frontier = FrontierReport::from_records(&records);
+    emit_frontier(&frontier, frontier_path.as_deref(), quiet, "merged ")
+}
+
 fn main() -> ExitCode {
-    match parse_args() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        return match run_merge(args[1..].to_vec()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("plaid-dse: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match parse_args(args) {
         Ok(None) => ExitCode::SUCCESS,
         Ok(Some(options)) => match run(&options) {
             Ok(()) => ExitCode::SUCCESS,

@@ -28,15 +28,18 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Computes the content-addressed cache key of a sweep point.
+/// Computes the raw 64-bit content hash of a sweep point — the number behind
+/// [`cache_key`].
 ///
-/// The key covers the workload identity (name, kernel, unroll, iteration
+/// The hash covers the workload identity (name, kernel, unroll, iteration
 /// count), the complete architecture parameterization (class, dimensions,
-/// configuration depth, communication level — via the design point's JSON
+/// configuration depth, communication spec — via the design point's JSON
 /// form, which includes every `ArchParams` knob the builders consume) and the
-/// mapper. The `v1:` prefix versions the scheme so a future format change
-/// invalidates old cache files instead of aliasing them.
-pub fn cache_key(point: &SweepPoint) -> String {
+/// mapper. It depends only on the point's *content*, never on its position in
+/// a sweep plan, which is what makes it usable both as a cache key and as the
+/// shard-assignment hash of [`crate::shard::partition_plan`] (stable under
+/// point reordering).
+pub fn cache_key_hash(point: &SweepPoint) -> u64 {
     let descriptor = point.workload.descriptor();
     let canonical = format!(
         "v1|workload={}|kernel={}|unroll={}|iters={}|design={}|params={}|mapper={}",
@@ -48,7 +51,16 @@ pub fn cache_key(point: &SweepPoint) -> String {
         serde_json::to_string(&point.design.params()).expect("params serialize"),
         point.mapper.label(),
     );
-    format!("v1:{:016x}", fnv1a64(canonical.as_bytes()))
+    fnv1a64(canonical.as_bytes())
+}
+
+/// Computes the content-addressed cache key of a sweep point.
+///
+/// The key is the hex form of [`cache_key_hash`]. The `v1:` prefix versions
+/// the scheme so a future format change invalidates old cache files instead
+/// of aliasing them.
+pub fn cache_key(point: &SweepPoint) -> String {
+    format!("v1:{:016x}", cache_key_hash(point))
 }
 
 /// True when a cached record was produced for exactly this sweep point.
@@ -116,10 +128,15 @@ impl ResultCache {
     /// Persists the cache as JSON (object keyed by content hash, one bucket
     /// of identity-verified records per key).
     ///
-    /// The write is atomic: the JSON goes to a temporary file in the same
-    /// directory which is then renamed over `path`, so a crash mid-save can
-    /// never leave a truncated cache file behind for [`ResultCache::load`]
-    /// to reject on every future run.
+    /// The write is atomic: the JSON goes to a temporary file in the target's
+    /// own directory which is then renamed over `path`, so a crash mid-save
+    /// can never leave a truncated cache file behind for
+    /// [`ResultCache::load`] to reject on every future run. The temporary
+    /// file is created *next to the target* — resolved through
+    /// [`Path::parent`], with an empty parent (a bare file name) meaning the
+    /// current directory — rather than naively rewriting the path, so the
+    /// rename never crosses a filesystem boundary and a bare-filename save
+    /// from any working directory lands its temp file beside the cache.
     ///
     /// # Errors
     ///
@@ -132,7 +149,14 @@ impl ResultCache {
         let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, "cache path has no file name")
         })?;
-        let tmp = path.with_file_name(format!("{file_name}.tmp-{}", std::process::id()));
+        // `Path::parent` returns `Some("")` for a bare file name — an empty
+        // parent means the current directory, made explicit as `.` so the
+        // temp file verifiably lands beside the target.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        let tmp = parent.join(format!("{file_name}.tmp-{}", std::process::id()));
         std::fs::write(&tmp, text)?;
         match std::fs::rename(&tmp, path) {
             Ok(()) => Ok(()),
@@ -141,6 +165,70 @@ impl ResultCache {
                 Err(e)
             }
         }
+    }
+
+    /// Unions another cache's records into this one, returning how many
+    /// records were *new* (an identity not previously present under its
+    /// key). A record whose exact identity (workload × design × mapper)
+    /// already exists is replaced by `other`'s copy — later merge inputs
+    /// win — and colliding-key buckets union record-by-record, so two
+    /// points sharing a 64-bit key never evict each other during a merge.
+    ///
+    /// This is the merge layer of sharded sweeps: shard-local caches are
+    /// disjoint by construction ([`crate::shard::partition_plan`] assigns
+    /// each point to exactly one shard), so unioning them reconstructs the
+    /// record set an unsharded sweep would have produced.
+    pub fn union_merge(&self, other: &ResultCache) -> usize {
+        // Merging a cache into itself is a no-op (union is idempotent);
+        // without this check the read lock on `other` would deadlock
+        // against the write lock on `self` — the same RwLock.
+        if std::ptr::eq(self, other) {
+            return 0;
+        }
+        let other_entries = other.entries.read().expect("cache lock poisoned");
+        let mut entries = self.entries.write().expect("cache lock poisoned");
+        let mut added = 0usize;
+        for (key, bucket) in other_entries.iter() {
+            let target = entries.entry(key.clone()).or_default();
+            for record in bucket {
+                match target.iter_mut().find(|r| {
+                    r.workload == record.workload
+                        && r.design == record.design
+                        && r.mapper == record.mapper
+                }) {
+                    Some(slot) => *slot = record.clone(),
+                    None => {
+                        target.push(record.clone());
+                        added += 1;
+                    }
+                }
+            }
+        }
+        added
+    }
+
+    /// All cached records in a canonical, content-determined order: keys
+    /// ascending, and within a colliding-key bucket by serialized form. Two
+    /// caches holding the same record set — regardless of the insertion or
+    /// merge order that built them — return byte-identical snapshots, which
+    /// is what makes merged-frontier output reproducible and lets tests
+    /// compare caches for semantic equality.
+    pub fn canonical_records(&self) -> Vec<EvalRecord> {
+        let entries = self.entries.read().expect("cache lock poisoned");
+        let mut keys: Vec<&String> = entries.keys().collect();
+        keys.sort();
+        let mut records = Vec::with_capacity(entries.values().map(Vec::len).sum());
+        for key in keys {
+            let bucket = &entries[key];
+            if bucket.len() <= 1 {
+                records.extend(bucket.iter().cloned());
+            } else {
+                let mut sorted: Vec<EvalRecord> = bucket.clone();
+                sorted.sort_by_key(|r| serde_json::to_string(r).expect("record serializes"));
+                records.extend(sorted);
+            }
+        }
+        records
     }
 
     /// Looks up a point by its content key, counting a hit or miss.
@@ -377,6 +465,39 @@ mod tests {
         assert!(reloaded.lookup(&key, &p).is_some());
         assert!(reloaded.lookup(&key, &other).is_some());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn union_merge_unions_buckets_and_self_merge_is_a_noop() {
+        let cache = ResultCache::new();
+        let p = point("dwconv", CommLevel::Aligned);
+        let other_point = point("fc", CommLevel::Rich);
+        let key = cache_key(&p);
+        cache.insert(key.clone(), EvalRecord::failed(&p, "mine"));
+        // Self-merge must neither deadlock nor duplicate.
+        assert_eq!(cache.union_merge(&cache), 0);
+        assert_eq!(cache.len(), 1);
+        // A colliding record of different identity arriving from another
+        // cache joins the bucket instead of evicting.
+        let incoming = ResultCache::new();
+        incoming.insert(key.clone(), EvalRecord::failed(&other_point, "collider"));
+        incoming.insert(key.clone(), EvalRecord::failed(&p, "updated"));
+        assert_eq!(cache.union_merge(&incoming), 1, "only the collider is new");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.lookup(&key, &p).unwrap().error.as_deref(),
+            Some("updated"),
+            "same identity replaced by the merge input"
+        );
+        assert_eq!(
+            cache.lookup(&key, &other_point).unwrap().error.as_deref(),
+            Some("collider")
+        );
+        // Canonical snapshots are identical however the records arrived.
+        let rebuilt = ResultCache::new();
+        rebuilt.insert(key.clone(), EvalRecord::failed(&other_point, "collider"));
+        rebuilt.insert(key, EvalRecord::failed(&p, "updated"));
+        assert_eq!(cache.canonical_records(), rebuilt.canonical_records());
     }
 
     #[test]

@@ -17,7 +17,13 @@
 //!    [`cache::ResultCache`] so repeated and overlapping sweeps are
 //!    near-free;
 //! 3. [`pareto::FrontierReport`] extracts the per-workload Pareto frontier
-//!    over {cycles, area, energy} and serializes it to JSON.
+//!    over {cycles, area, energy} and serializes it to JSON;
+//! 4. [`shard`] scales a sweep *out*: [`shard::partition_plan`] splits a
+//!    plan across processes or hosts by the cache's own content hashes
+//!    (stable under reordering, so uncoordinated hosts agree), and
+//!    [`cache::ResultCache::union_merge`] + [`shard::merge_outcomes`]
+//!    reassemble shard results into the byte-identical single-process
+//!    outcome (`plaid-dse --shard I/N` / `plaid-dse merge`).
 //!
 //! The `plaid-dse` binary drives all three stages from the command line; the
 //! `provisioning_frontier` example reproduces the paper's aligned-versus-
@@ -50,12 +56,16 @@ pub mod cache;
 pub mod pareto;
 pub mod record;
 pub mod seed;
+pub mod shard;
 pub mod sweep;
 
-pub use cache::{cache_key, ResultCache};
+pub use cache::{cache_key, cache_key_hash, ResultCache};
 pub use pareto::{pareto_indices, FrontierReport, Objectives, WorkloadFrontier};
 pub use record::EvalRecord;
 pub use seed::{provisioning_distance, SeedFamily, SeedPolicy, SeedStore};
+pub use shard::{
+    merge_outcomes, partition_plan, run_sweep_sharded, shard_of, shard_plan, ShardSpec,
+};
 pub use sweep::{
     default_mapper_for_class, evaluate_point, run_sweep, run_sweep_with, SweepOutcome, SweepPlan,
     SweepPoint, SweepStats,

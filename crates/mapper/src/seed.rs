@@ -83,7 +83,8 @@ pub fn fabric_signature_nocap(arch: &Architecture) -> u64 {
 /// Content hash of the DFG a seed or infeasibility proof was derived on:
 /// node operations (with immediates) and edge topology. A mapping result or
 /// ladder proof is only meaningful for the exact graph it was computed on,
-/// so [`plan_ladder`] ignores hints whose DFG fingerprint does not match the
+/// so the mappers' shared ladder planner (`plan_ladder`) ignores hints whose
+/// DFG fingerprint does not match the
 /// graph being mapped — a caller passing a hint captured from a different
 /// workload gets a scratch run, never a spurious fast-fail.
 pub fn dfg_fingerprint(dfg: &Dfg) -> u64 {
